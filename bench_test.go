@@ -1,0 +1,374 @@
+// Benchmarks: one testing.B family per figure/table of the evaluation.
+// Simulated experiments report cycles and interconnect transactions via
+// b.ReportMetric (the wall-clock ns/op of a simulation is meaningless);
+// real-runtime experiments report ns/op directly.
+//
+// Run everything:   go test -bench=. -benchmem
+// One figure:       go test -bench=BenchmarkF2 -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/barriers"
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simsync"
+	"repro/internal/workload"
+)
+
+// simLockBench runs one simulated lock configuration per b.N batch and
+// reports cycles and traffic per acquisition.
+func simLockBench(b *testing.B, model machine.Model, lockName string, procs int) {
+	info, ok := simsync.LockByName(lockName)
+	if !ok {
+		b.Fatalf("unknown lock %q", lockName)
+	}
+	var cyc, traf float64
+	for i := 0; i < b.N; i++ {
+		res, err := simsync.RunLock(
+			machine.Config{Procs: procs, Model: model, Seed: uint64(i + 1)},
+			info,
+			simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, traf = res.CyclesPerAcq, res.TrafficPerAcq
+	}
+	b.ReportMetric(cyc, "cycles/acq")
+	b.ReportMetric(traf, "traffic/acq")
+}
+
+// simBarrierBench likewise for barriers.
+func simBarrierBench(b *testing.B, model machine.Model, barName string, procs int) {
+	info, ok := simsync.BarrierByName(barName)
+	if !ok {
+		b.Fatalf("unknown barrier %q", barName)
+	}
+	var cyc, traf float64
+	for i := 0; i < b.N; i++ {
+		res, err := simsync.RunBarrier(
+			machine.Config{Procs: procs, Model: model, Seed: uint64(i + 1)},
+			info,
+			simsync.BarrierOpts{Episodes: 12, Work: 150},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, traf = res.CyclesPerEpisode, res.TrafficPerEpisode
+	}
+	b.ReportMetric(cyc, "cycles/episode")
+	b.ReportMetric(traf, "traffic/episode")
+}
+
+// BenchmarkT1 — uncontended latency, simulated bus machine.
+func BenchmarkT1_Uncontended(b *testing.B) {
+	for _, li := range simsync.Locks() {
+		li := li
+		b.Run(li.Name, func(b *testing.B) {
+			var cyc float64
+			for i := 0; i < b.N; i++ {
+				c, _, err := simsync.UncontendedLockCost(machine.Bus, li)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cyc = float64(c)
+			}
+			b.ReportMetric(cyc, "cycles/pair")
+		})
+	}
+}
+
+// BenchmarkF1F2 — bus machine lock sweep (cycles + bus transactions).
+func BenchmarkF1F2_BusLocks(b *testing.B) {
+	for _, li := range simsync.Locks() {
+		for _, p := range []int{2, 8, 24} {
+			b.Run(fmt.Sprintf("%s/P=%d", li.Name, p), func(b *testing.B) {
+				simLockBench(b, machine.Bus, li.Name, p)
+			})
+		}
+	}
+}
+
+// BenchmarkF3F4 — NUMA machine lock sweep (cycles + remote references).
+func BenchmarkF3F4_NUMALocks(b *testing.B) {
+	for _, li := range simsync.Locks() {
+		for _, p := range []int{2, 8, 32} {
+			b.Run(fmt.Sprintf("%s/P=%d", li.Name, p), func(b *testing.B) {
+				simLockBench(b, machine.NUMA, li.Name, p)
+			})
+		}
+	}
+}
+
+// BenchmarkF5 — backoff sensitivity ablation at P=16 on the bus machine.
+func BenchmarkF5_BackoffAblation(b *testing.B) {
+	for _, bp := range []simsync.BackoffParams{
+		{Base: 4, Cap: 256}, {Base: 16, Cap: 2048}, {Base: 256, Cap: 16384},
+	} {
+		bp := bp
+		b.Run(fmt.Sprintf("tas-bo/base=%d,cap=%d", bp.Base, bp.Cap), func(b *testing.B) {
+			var cyc float64
+			for i := 0; i < b.N; i++ {
+				info := simsync.LockInfo{
+					Name: "tas-bo",
+					Make: func(m *machine.Machine) simsync.Lock {
+						return simsync.NewTASBackoffParams(m, bp)
+					},
+				}
+				res, err := simsync.RunLock(
+					machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+					info, simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cyc = res.CyclesPerAcq
+			}
+			b.ReportMetric(cyc, "cycles/acq")
+		})
+	}
+	b.Run("qsync/untuned", func(b *testing.B) {
+		simLockBench(b, machine.Bus, "qsync", 16)
+	})
+}
+
+// BenchmarkF6 — critical-section length crossover at P=16.
+func BenchmarkF6_CSLength(b *testing.B) {
+	for _, cs := range []int64{0, 400, 1600} {
+		for _, name := range []string{"tas", "ticket", "qsync"} {
+			cs, name := cs, name
+			b.Run(fmt.Sprintf("%s/cs=%d", name, cs), func(b *testing.B) {
+				info, _ := simsync.LockByName(name)
+				var cyc float64
+				for i := 0; i < b.N; i++ {
+					res, err := simsync.RunLock(
+						machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+						info, simsync.LockOpts{Iters: 40, CS: sim.Time(cs), Think: sim.Time(2 * cs), CheckMutex: true},
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc = res.CyclesPerAcq
+				}
+				b.ReportMetric(cyc, "cycles/acq")
+			})
+		}
+	}
+}
+
+// BenchmarkF7 — barrier sweep on the bus machine.
+func BenchmarkF7_BusBarriers(b *testing.B) {
+	for _, bi := range simsync.Barriers() {
+		for _, p := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/P=%d", bi.Name, p), func(b *testing.B) {
+				simBarrierBench(b, machine.Bus, bi.Name, p)
+			})
+		}
+	}
+}
+
+// BenchmarkF8 — barrier sweep on the NUMA machine.
+func BenchmarkF8_NUMABarriers(b *testing.B) {
+	for _, bi := range simsync.Barriers() {
+		for _, p := range []int{8, 32} {
+			b.Run(fmt.Sprintf("%s/P=%d", bi.Name, p), func(b *testing.B) {
+				simBarrierBench(b, machine.NUMA, bi.Name, p)
+			})
+		}
+	}
+}
+
+// BenchmarkF9 — real-runtime reader-writer lock across read fractions.
+func BenchmarkF9_RWMutex(b *testing.B) {
+	for _, frac := range []float64{0.5, 0.9, 1.0} {
+		frac := frac
+		b.Run(fmt.Sprintf("read=%.2f", frac), func(b *testing.B) {
+			var rw repro.RWMutex
+			gor := runtime.GOMAXPROCS(0)
+			if gor > 8 {
+				gor = 8
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				rng := uint64(0x9e3779b97f4a7c15)
+				for pb.Next() {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					if float64(rng%1000) < frac*1000 {
+						tok := rw.RLock()
+						rw.RUnlock(tok)
+					} else {
+						rw.Lock()
+						rw.Unlock()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkF10 — real-runtime bounded-buffer pipeline.
+func BenchmarkF10_Pipeline(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			var itemsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res := workload.RunPipeline(workload.PipelineOpts{
+					Producers: workers, Consumers: workers,
+					Items: 20000, Capacity: 64, Mode: core.SpinPark,
+				})
+				if !res.SumValidated {
+					b.Fatal("pipeline checksum mismatch")
+				}
+				itemsPerSec = res.ItemsPerSec
+			}
+			b.ReportMetric(itemsPerSec, "items/s")
+		})
+	}
+}
+
+// BenchmarkF14 — simulated semaphores through the bounded buffer.
+func BenchmarkF14_SimSemaphores(b *testing.B) {
+	for _, si := range simsync.Semaphores() {
+		for _, p := range []int{4, 16} {
+			si, p := si, p
+			b.Run(fmt.Sprintf("%s/P=%d", si.Name, p), func(b *testing.B) {
+				var cyc, traf float64
+				for i := 0; i < b.N; i++ {
+					res, err := simsync.RunProducerConsumer(
+						machine.Config{Procs: p, Model: machine.Bus, Seed: uint64(i + 1)},
+						si, simsync.PCOpts{Items: 60, Capacity: 4, Work: 20},
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc, traf = res.CyclesPerItem, res.TrafficPerItem
+				}
+				b.ReportMetric(cyc, "cycles/item")
+				b.ReportMetric(traf, "traffic/item")
+			})
+		}
+	}
+}
+
+// BenchmarkF13 — simulated reader-writer locks.
+func BenchmarkF13_SimRWLocks(b *testing.B) {
+	for _, ri := range simsync.RWLocks() {
+		for _, frac := range []float64{0.5, 0.9} {
+			ri, frac := ri, frac
+			b.Run(fmt.Sprintf("%s/read=%.1f", ri.Name, frac), func(b *testing.B) {
+				var cyc float64
+				for i := 0; i < b.N; i++ {
+					res, err := simsync.RunRW(
+						machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+						ri, simsync.RWOpts{Iters: 30, ReadFraction: frac, Work: 40, Think: 60},
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc = res.CyclesPerOp
+				}
+				b.ReportMetric(cyc, "cycles/op")
+			})
+		}
+	}
+}
+
+// BenchmarkF11 — real-runtime lock acquire/release under contention.
+func BenchmarkF11_RealLocks(b *testing.B) {
+	for _, li := range locks.All() {
+		li := li
+		b.Run(li.Name, func(b *testing.B) {
+			l := li.New(runtime.GOMAXPROCS(0) * 2)
+			counter := 0
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					counter++
+					l.Unlock()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkF12 — spin vs park, oversubscribed by 4x.
+func BenchmarkF12_Oversubscription(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name string
+		mode core.WaitMode
+	}{{"spin", core.Spin}, {"spin-park", core.SpinPark}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			m := &core.Mutex{Mode: tc.mode}
+			workers := n * 4
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			counter := 0
+			b.ResetTimer()
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m.Lock()
+						counter++
+						m.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkBarriers_Real — real-runtime barrier episode cost.
+func BenchmarkBarriers_Real(b *testing.B) {
+	parties := runtime.GOMAXPROCS(0)
+	if parties > 8 {
+		parties = 8
+	}
+	for _, bi := range barriers.All() {
+		bi := bi
+		b.Run(bi.Name, func(b *testing.B) {
+			bar := bi.New(parties)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for id := 0; id < parties; id++ {
+				id := id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						bar.Wait(id)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkUncontendedReal — T1's real-runtime twin.
+func BenchmarkUncontendedReal(b *testing.B) {
+	for _, li := range locks.All() {
+		li := li
+		b.Run(li.Name, func(b *testing.B) {
+			l := li.New(1)
+			for i := 0; i < b.N; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+	}
+}

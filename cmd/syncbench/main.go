@@ -1,0 +1,64 @@
+// Command syncbench regenerates every figure and table of the
+// reconstructed ICPP 1991 evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	syncbench -list
+//	syncbench -all                 # full-size run of every experiment
+//	syncbench -run F2,F4           # selected tables
+//	syncbench -quick -all          # small sweeps, finishes in seconds
+//	syncbench -all -csv results/   # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		runIDs  = flag.String("run", "", "comma-separated table ids to regenerate (e.g. F2,T3)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "small sweeps (seconds instead of minutes)")
+		csvDir  = flag.String("csv", "", "directory to write one CSV per table")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		verbose = flag.Bool("v", false, "print per-sweep-point progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (table ids -> title):")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-12s %s\n", strings.Join(e.IDs, "+"), e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 && !*all {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -run <ids>, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	if err := harness.RunIDs(ids, opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		os.Exit(1)
+	}
+}

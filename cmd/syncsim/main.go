@@ -1,0 +1,112 @@
+// Command syncsim runs a single simulated-lock or simulated-barrier
+// workload and prints its counters — the microscope companion to
+// syncbench's survey. Useful for poking at one algorithm under one
+// configuration, e.g.:
+//
+//	syncsim -kind lock -algo qsync -model numa -procs 16 -iters 200
+//	syncsim -kind barrier -algo dissemination -model bus -procs 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simsync"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "lock", "lock or barrier")
+		algo     = flag.String("algo", "qsync", "algorithm name (see -names)")
+		model    = flag.String("model", "bus", "machine model: bus, numa, ideal")
+		procs    = flag.Int("procs", 8, "processors")
+		iters    = flag.Int("iters", 100, "acquisitions per processor (lock)")
+		episodes = flag.Int("episodes", 50, "episodes (barrier)")
+		cs       = flag.Int64("cs", 25, "critical-section work, cycles (lock)")
+		think    = flag.Int64("think", 50, "mean think time, cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		names    = flag.Bool("names", false, "list algorithm names and exit")
+	)
+	flag.Parse()
+
+	if *names {
+		fmt.Print("locks:")
+		for _, li := range simsync.Locks() {
+			fmt.Printf(" %s", li.Name)
+		}
+		fmt.Print("\nbarriers:")
+		for _, bi := range simsync.Barriers() {
+			fmt.Printf(" %s", bi.Name)
+		}
+		fmt.Println()
+		return
+	}
+
+	var mdl machine.Model
+	switch *model {
+	case "bus":
+		mdl = machine.Bus
+	case "numa":
+		mdl = machine.NUMA
+	case "ideal":
+		mdl = machine.Ideal
+	default:
+		fail("unknown model %q", *model)
+	}
+	cfg := machine.Config{Procs: *procs, Model: mdl, Seed: *seed}
+
+	switch *kind {
+	case "lock":
+		info, ok := simsync.LockByName(*algo)
+		if !ok {
+			fail("unknown lock %q (try -names)", *algo)
+		}
+		res, err := simsync.RunLock(cfg, info, simsync.LockOpts{
+			Iters: *iters, CS: sim.Time(*cs), Think: sim.Time(*think),
+			CheckMutex: true, RecordOrder: true,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("lock=%s model=%s procs=%d iters=%d\n", res.Lock, res.Model, res.Procs, *iters)
+		fmt.Printf("  acquisitions:      %d\n", res.Acquisitions)
+		fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+		fmt.Printf("  cycles/acq:        %.1f\n", res.CyclesPerAcq)
+		fmt.Printf("  traffic/acq:       %.2f (%s)\n", res.TrafficPerAcq, trafficName(mdl))
+		fmt.Printf("  FIFO inversions:   %d\n", res.FIFOInversions)
+		fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
+	case "barrier":
+		info, ok := simsync.BarrierByName(*algo)
+		if !ok {
+			fail("unknown barrier %q (try -names)", *algo)
+		}
+		res, err := simsync.RunBarrier(cfg, info, simsync.BarrierOpts{
+			Episodes: *episodes, Work: sim.Time(*think),
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("barrier=%s model=%s procs=%d episodes=%d\n", res.Barrier, res.Model, res.Procs, res.Episodes)
+		fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+		fmt.Printf("  cycles/episode:    %.1f\n", res.CyclesPerEpisode)
+		fmt.Printf("  traffic/episode:   %.2f (%s)\n", res.TrafficPerEpisode, trafficName(mdl))
+		fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
+	default:
+		fail("unknown kind %q", *kind)
+	}
+}
+
+func trafficName(m machine.Model) string {
+	if m == machine.NUMA {
+		return "remote refs"
+	}
+	return "bus txns"
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "syncsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Histogram: the motivating shared-counter workload of the 1991 era —
+// many processors bumping bins of a shared histogram. Compares a single
+// global lock against per-bin sharded mechanism locks, and against the
+// standard library mutex, printing throughput for each arrangement.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+const (
+	bins    = 256
+	workers = 8
+	samples = 400000 // per worker
+)
+
+// synth generates a deterministic pseudo-random stream of bin indexes.
+func synth(seed uint64) func() int {
+	state := seed*0x9e3779b97f4a7c15 + 1
+	return func() int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % bins)
+	}
+}
+
+func runGlobal(lock sync.Locker) (time.Duration, int64) {
+	hist := make([]int64, bins)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := synth(uint64(w))
+			for i := 0; i < samples; i++ {
+				b := next()
+				lock.Lock()
+				hist[b]++
+				lock.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	return elapsed, total
+}
+
+func runSharded() (time.Duration, int64) {
+	hist := make([]int64, bins)
+	shard := make([]repro.Mutex, bins)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := synth(uint64(w))
+			for i := 0; i < samples; i++ {
+				b := next()
+				shard[b].Lock()
+				hist[b]++
+				shard[b].Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	return elapsed, total
+}
+
+func main() {
+	fmt.Println("== parallel histogram:", workers, "workers x", samples, "samples,", bins, "bins ==")
+	want := int64(workers) * samples
+
+	// Spin mode: every worker owns a CPU here, the paper's model. (With
+	// tiny critical sections, spin-park's FIFO hand-off convoys through
+	// the scheduler — that trade-off is measured in experiment F12.)
+	qs := repro.Mutex{Mode: repro.Spin}
+	d, total := runGlobal(&qs)
+	check(total, want)
+	fmt.Printf("global qsync mutex:   %8.1f Mops/s (%v)\n", rate(want, d), d.Round(time.Millisecond))
+
+	var std sync.Mutex
+	d, total = runGlobal(&std)
+	check(total, want)
+	fmt.Printf("global stdlib mutex:  %8.1f Mops/s (%v)\n", rate(want, d), d.Round(time.Millisecond))
+
+	d, total = runSharded()
+	check(total, want)
+	fmt.Printf("sharded qsync (256):  %8.1f Mops/s (%v)\n", rate(want, d), d.Round(time.Millisecond))
+
+	fmt.Println()
+	fmt.Println("reading the numbers: under a single global lock the stdlib mutex wins by")
+	fmt.Println("barging — a releasing goroutine can immediately reacquire with everything")
+	fmt.Println("hot in cache, which is fast and unfair. The mechanism hands off FIFO, so")
+	fmt.Println("every operation pays a cross-CPU transfer (fairness has a price; the 1991")
+	fmt.Println("papers document exactly this trade). Its strength is the last line: one")
+	fmt.Println("word per cell makes fine-grained sharding free, and sharded qsync beats")
+	fmt.Println("every global lock.")
+}
+
+func rate(n int64, d time.Duration) float64 {
+	return float64(n) / d.Seconds() / 1e6
+}
+
+func check(got, want int64) {
+	if got != want {
+		panic(fmt.Sprintf("histogram lost updates: %d != %d", got, want))
+	}
+}

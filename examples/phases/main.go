@@ -1,0 +1,101 @@
+// Phases: a barrier-phased numerical kernel — Jacobi iteration on the
+// 1-D heat equation — the canonical data-parallel workload the 1991
+// barrier literature benchmarked. Each worker owns a strip of the rod;
+// every sweep is separated by two tree-barrier episodes (compute, then
+// swap). Correctness is checked the strict way: the parallel result
+// must be bit-identical to a sequential run of the same sweeps — any
+// barrier ordering bug shows up as a mismatch.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+const (
+	cells   = 2048
+	workers = 8
+	sweeps  = 3000
+	leftT   = 0.0
+	rightT  = 100.0
+)
+
+func sequential() []float64 {
+	cur := make([]float64, cells)
+	nxt := make([]float64, cells)
+	cur[0], cur[cells-1] = leftT, rightT
+	nxt[0], nxt[cells-1] = leftT, rightT
+	for s := 0; s < sweeps; s++ {
+		for i := 1; i < cells-1; i++ {
+			nxt[i] = 0.5 * (cur[i-1] + cur[i+1])
+		}
+		cur, nxt = nxt, cur
+	}
+	return cur
+}
+
+func parallel() ([]float64, time.Duration) {
+	cur := make([]float64, cells)
+	nxt := make([]float64, cells)
+	cur[0], cur[cells-1] = leftT, rightT
+	nxt[0], nxt[cells-1] = leftT, rightT
+
+	bar := repro.NewTreeBarrier(workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lo := 1 + id*(cells-2)/workers
+			hi := 1 + (id+1)*(cells-2)/workers
+			src, dst := cur, nxt
+			for s := 0; s < sweeps; s++ {
+				for i := lo; i < hi; i++ {
+					dst[i] = 0.5 * (src[i-1] + src[i+1])
+				}
+				// Two episodes per sweep: one to finish writing, one to
+				// make the swap safe for everyone.
+				bar.Wait(id)
+				src, dst = dst, src
+				bar.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if sweeps%2 == 0 {
+		return cur, elapsed
+	}
+	return nxt, elapsed
+}
+
+func main() {
+	fmt.Println("== Jacobi heat diffusion:", cells, "cells,", workers, "workers,", sweeps, "sweeps ==")
+
+	ref := sequential()
+	got, elapsed := parallel()
+
+	for i := range ref {
+		if got[i] != ref[i] {
+			panic(fmt.Sprintf("cell %d: parallel %v != sequential %v — barrier ordering broken", i, got[i], ref[i]))
+		}
+	}
+	// Progress toward the linear steady state, for flavor.
+	maxErr := 0.0
+	for i := range got {
+		exact := leftT + (rightT-leftT)*float64(i)/float64(cells-1)
+		if e := math.Abs(got[i] - exact); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("elapsed: %v for %d barrier episodes (%.1f us/episode across %d workers)\n",
+		elapsed.Round(time.Millisecond), 2*sweeps,
+		float64(elapsed.Microseconds())/float64(2*sweeps), workers)
+	fmt.Println("parallel result is bit-identical to the sequential reference")
+	fmt.Printf("diffusion progress: max deviation from steady state %.2f degrees after %d sweeps\n", maxErr, sweeps)
+}

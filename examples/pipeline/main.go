@@ -1,0 +1,149 @@
+// Pipeline: a two-stage bounded-buffer pipeline built entirely from the
+// mechanism's primitives — semaphores gate buffer slots, a mutex guards
+// each ring, and an eventcount lets the main goroutine await overall
+// progress. Simulates a parse→compress workflow over synthetic records
+// and validates end-to-end checksums.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+const (
+	records  = 120000
+	capacity = 128
+	parsers  = 3
+	packers  = 3
+)
+
+// ring is a bounded buffer guarded by mechanism primitives.
+type ring struct {
+	mu     repro.Mutex
+	buf    []uint64
+	head   int
+	tail   int
+	spaces *repro.Semaphore
+	items  *repro.Semaphore
+}
+
+func newRing(n int) *ring {
+	r := &ring{
+		buf:    make([]uint64, n),
+		spaces: repro.NewSemaphore(int64(n)),
+		items:  repro.NewSemaphore(0),
+	}
+	// The pipeline runs far fewer goroutines than CPUs, so spin waiters
+	// give the lowest hand-off latency (see experiment F12 for when this
+	// choice flips).
+	r.mu.Mode = repro.Spin
+	r.spaces.Mode = repro.Spin
+	r.items.Mode = repro.Spin
+	return r
+}
+
+func (r *ring) push(v uint64) {
+	r.spaces.Acquire()
+	r.mu.Lock()
+	r.buf[r.tail] = v
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.mu.Unlock()
+	r.items.Release()
+}
+
+func (r *ring) pop() uint64 {
+	r.items.Acquire()
+	r.mu.Lock()
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.mu.Unlock()
+	r.spaces.Release()
+	return v
+}
+
+// mix is a cheap stand-in for per-record work.
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return v
+}
+
+func main() {
+	fmt.Println("== two-stage pipeline:", records, "records,", parsers, "parsers,", packers, "packers ==")
+
+	stage1 := newRing(capacity) // raw -> parsed
+	stage2 := newRing(capacity) // parsed -> packed
+	done := repro.NewEvent()
+
+	var wg sync.WaitGroup
+	var inSum, outSum uint64
+	var outMu repro.Mutex
+
+	start := time.Now()
+
+	// Source: one producer of raw records.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= records; i++ {
+			inSum += mix(mix(i)) // what the sink should accumulate
+			stage1.push(i)
+		}
+	}()
+
+	// Stage 1: parsers.
+	for w := 0; w < parsers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := stage1.pop()
+				if v == 0 {
+					return
+				}
+				stage2.push(mix(v))
+			}
+		}()
+	}
+
+	// Stage 2: packers feed the sink-side checksum and the eventcount.
+	for w := 0; w < packers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := stage2.pop()
+				if v == 0 {
+					return
+				}
+				outMu.Lock()
+				outSum += mix(v)
+				outMu.Unlock()
+				done.Advance()
+			}
+		}()
+	}
+
+	// Await completion via the eventcount, then shut the stages down
+	// with zero-value poison pills.
+	done.Await(records)
+	for w := 0; w < parsers; w++ {
+		stage1.push(0)
+	}
+	for w := 0; w < packers; w++ {
+		stage2.push(0)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("throughput: %.2f Mrecords/s (%v)\n",
+		records/elapsed.Seconds()/1e6, elapsed.Round(time.Millisecond))
+	if inSum != outSum {
+		panic(fmt.Sprintf("checksum mismatch: %x != %x", inSum, outSum))
+	}
+	fmt.Printf("checksums match (%x): no record lost, duplicated, or corrupted\n", outSum)
+}

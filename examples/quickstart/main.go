@@ -1,0 +1,108 @@
+// Quickstart: a five-minute tour of the mechanism's public API —
+// Mutex, RWMutex, Semaphore, Event/Sequencer, and Barrier.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("== QSync quickstart ==")
+
+	// 1. Mutex: a FIFO queue lock; drop-in sync.Locker.
+	var mu repro.Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("mutex: 8 goroutines x 10000 increments = %d (want 80000)\n", counter)
+
+	// 2. RWMutex: fair reader-writer lock; readers carry a token.
+	var rw repro.RWMutex
+	config := map[string]string{"mode": "fast"}
+	rw.Lock()
+	config["mode"] = "safe"
+	rw.Unlock()
+	tok := rw.RLock()
+	fmt.Printf("rwmutex: mode=%s (read under shared lock)\n", config["mode"])
+	rw.RUnlock(tok)
+
+	// 3. Semaphore: FIFO counting semaphore with direct hand-off.
+	sem := repro.NewSemaphore(3)
+	var active, peak int
+	var pmu repro.Mutex
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem.Acquire()
+			pmu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			pmu.Unlock()
+			time.Sleep(5 * time.Millisecond) // hold the permit briefly
+			pmu.Lock()
+			active--
+			pmu.Unlock()
+			sem.Release()
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("semaphore: 10 workers through 3 permits, peak concurrency %d (<= 3)\n", peak)
+
+	// 4. Event + Sequencer: the classic eventcount pattern.
+	ev := repro.NewEvent()
+	var seq repro.Sequencer
+	results := make([]uint64, 6)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := seq.Ticket()
+				if t > 5 {
+					return
+				}
+				results[t] = t * t
+				ev.Await(t - 1) // publish strictly in ticket order
+				ev.Advance()
+			}
+		}()
+	}
+	ev.Await(5)
+	fmt.Printf("eventcount: squares published in order: %v\n", results[1:])
+	wg.Wait()
+
+	// 5. Barrier: phased execution.
+	const parties = 4
+	bar := repro.NewBarrier(parties, repro.SpinPark)
+	phaseLog := make([][]int, parties)
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for phase := 0; phase < 3; phase++ {
+				phaseLog[id] = append(phaseLog[id], phase)
+				bar.Wait()
+			}
+		}(id)
+	}
+	wg.Wait()
+	fmt.Printf("barrier: %d parties completed %d synchronized phases\n", parties, bar.Episodes())
+}

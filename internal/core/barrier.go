@@ -1,0 +1,147 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a reusable episode barrier for a fixed party of n
+// goroutines. It is the practical (central) variant: arrival is one
+// atomic decrement, release is a broadcast. In SpinPark mode waiters
+// park on a per-generation channel, so the barrier behaves well even
+// heavily oversubscribed.
+//
+// Construct with NewBarrier. A Barrier must not be copied.
+type Barrier struct {
+	n      int32
+	mu     spinLock
+	count  int32
+	gate   chan struct{} // closed to release the current generation
+	mode   WaitMode
+	epochs atomic.Uint64 // completed episodes, for observability
+}
+
+// NewBarrier returns a barrier for n parties in the given mode.
+func NewBarrier(n int, mode WaitMode) *Barrier {
+	if n < 1 {
+		panic("core: NewBarrier with fewer than one party")
+	}
+	return &Barrier{n: int32(n), gate: make(chan struct{}), mode: mode}
+}
+
+// Wait blocks until all n parties have called Wait for this episode.
+func (b *Barrier) Wait() {
+	b.mu.lock()
+	gate := b.gate
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gate = make(chan struct{})
+		b.epochs.Add(1)
+		b.mu.unlock()
+		close(gate) // release everyone, including ourselves (non-blocking)
+		return
+	}
+	b.mu.unlock()
+	if b.mode == Spin {
+		for i := 0; ; i++ {
+			select {
+			case <-gate:
+				return
+			default:
+			}
+			if i%4096 == 4095 {
+				runtime.Gosched()
+			}
+		}
+	}
+	<-gate
+}
+
+// Episodes returns the number of completed episodes.
+func (b *Barrier) Episodes() uint64 { return b.epochs.Load() }
+
+// TreeBarrier is the mechanism's barrier: a static 4-ary tree in which
+// children push their arrival epoch into slots in the parent's line and
+// the parent pushes the release epoch directly into each child's
+// personal flag — direct hand-off, all spinning on per-party words.
+// With one party per CPU this is the fastest reusable barrier here;
+// it always spins (with Gosched), so prefer Barrier when oversubscribed.
+//
+// Each party must call Wait with its fixed id in [0, n).
+type TreeBarrier struct {
+	n       int
+	arrive  [][]paddedUint64 // arrive[i][s]: slot written by child 4i+s+1
+	release []paddedUint64   // release[i]: personal release flag
+	epoch   []paddedUint64   // per-party episode number (unshared)
+}
+
+const treeArity = 4
+
+// paddedUint64 keeps hot flags on separate cache lines.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// NewTreeBarrier returns a tree barrier for n parties.
+func NewTreeBarrier(n int) *TreeBarrier {
+	if n < 1 {
+		panic("core: NewTreeBarrier with fewer than one party")
+	}
+	b := &TreeBarrier{
+		n:       n,
+		arrive:  make([][]paddedUint64, n),
+		release: make([]paddedUint64, n),
+		epoch:   make([]paddedUint64, n),
+	}
+	for i := range b.arrive {
+		b.arrive[i] = make([]paddedUint64, treeArity)
+	}
+	return b
+}
+
+// Parties returns the party count.
+func (b *TreeBarrier) Parties() int { return b.n }
+
+// Wait blocks party id until all parties arrive at this episode.
+func (b *TreeBarrier) Wait(id int) {
+	if id < 0 || id >= b.n {
+		panic("core: TreeBarrier.Wait id out of range")
+	}
+	epoch := b.epoch[id].v.Load() + 1
+	b.epoch[id].v.Store(epoch)
+
+	// Gather: wait for each existing child to post this epoch.
+	for s := 0; s < treeArity; s++ {
+		child := treeArity*id + s + 1
+		if child >= b.n {
+			break
+		}
+		slot := &b.arrive[id][s].v
+		for i := 0; slot.Load() != epoch; i++ {
+			if i%4096 == 4095 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if id != 0 {
+		parent := (id - 1) / treeArity
+		slot := (id - 1) % treeArity
+		b.arrive[parent][slot].v.Store(epoch)
+		rel := &b.release[id].v
+		for i := 0; rel.Load() != epoch; i++ {
+			if i%4096 == 4095 {
+				runtime.Gosched()
+			}
+		}
+	}
+	// Scatter: direct hand-off to each child.
+	for s := 0; s < treeArity; s++ {
+		child := treeArity*id + s + 1
+		if child >= b.n {
+			break
+		}
+		b.release[child].v.Store(epoch)
+	}
+}

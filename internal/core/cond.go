@@ -1,0 +1,90 @@
+package core
+
+// Cond is a condition variable with Mesa semantics bound to a mechanism
+// Mutex, completing the monitor discipline the era structured programs
+// with. Waiters queue FIFO on mechanism records; Signal performs a
+// direct hand-off of exactly one waiter; Broadcast releases the whole
+// queue.
+//
+// As with sync.Cond, Wait must be called with L held, and because
+// wakeups are Mesa-style ("the condition was true at some point"),
+// callers re-check their predicate in a loop:
+//
+//	c.L.Lock()
+//	for !condition() {
+//	    c.Wait()
+//	}
+//	... use the condition ...
+//	c.L.Unlock()
+//
+// Signal and Broadcast should be called with L held; calling them
+// unlocked is permitted but can race with a waiter that has not yet
+// queued (the usual Mesa caveat).
+type Cond struct {
+	// L is the monitor lock; it must be set before use (NewCond does).
+	L *Mutex
+
+	mu   spinLock
+	head *node
+	tail *node
+	// Mode selects the waiter strategy; set before first use.
+	Mode WaitMode
+}
+
+// NewCond returns a condition variable bound to l.
+func NewCond(l *Mutex) *Cond {
+	if l == nil {
+		panic("core: NewCond with nil Mutex")
+	}
+	return &Cond{L: l}
+}
+
+// Wait atomically releases L, blocks until signaled, and re-acquires L
+// before returning.
+func (c *Cond) Wait() {
+	n := newNode()
+	c.mu.lock()
+	if c.tail == nil {
+		c.head, c.tail = n, n
+	} else {
+		c.tail.next.Store(n)
+		c.tail = n
+	}
+	c.mu.unlock()
+	// The waiter is queued before the monitor lock is released, so any
+	// signal that happens-after our caller's predicate check (made under
+	// L) will find us: no lost wakeups.
+	c.L.Unlock()
+	n.wait(c.Mode)
+	putNode(n)
+	c.L.Lock()
+}
+
+// Signal wakes the longest-waiting goroutine, if any.
+func (c *Cond) Signal() {
+	c.mu.lock()
+	w := c.head
+	if w != nil {
+		c.head = w.next.Load()
+		if c.head == nil {
+			c.tail = nil
+		}
+	}
+	c.mu.unlock()
+	if w != nil {
+		w.grant()
+	}
+}
+
+// Broadcast wakes every waiting goroutine.
+func (c *Cond) Broadcast() {
+	c.mu.lock()
+	w := c.head
+	c.head, c.tail = nil, nil
+	c.mu.unlock()
+	for w != nil {
+		next := w.next.Load()
+		w.grant()
+		w = next
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCondNilMutexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCond(nil) did not panic")
+		}
+	}()
+	NewCond(nil)
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		for !ready {
+			c.Wait()
+		}
+		m.Unlock()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Lock()
+	ready = true
+	c.Signal()
+	m.Unlock()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("signaled waiter never woke")
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	const waiters = 10
+	gate := false
+	var woke atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			for !gate {
+				c.Wait()
+			}
+			m.Unlock()
+			woke.Add(1)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.Lock()
+	gate = true
+	c.Broadcast()
+	m.Unlock()
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d waiters woke after Broadcast", woke.Load(), waiters)
+	}
+}
+
+func TestCondSignalNoWaitersHarmless(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	c.Signal()
+	c.Broadcast()
+}
+
+func TestCondBoundedQueueMonitor(t *testing.T) {
+	// The classic monitor exercise: a bounded queue with notFull and
+	// notEmpty conditions, hammered by producers and consumers.
+	var m Mutex
+	notFull := NewCond(&m)
+	notEmpty := NewCond(&m)
+	const capacity = 4
+	var q []int
+	const producers, consumers, items = 4, 4, 3000
+	var produced, consumed atomic.Int64
+	var sumIn, sumOut atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := produced.Add(1)
+				if n > items {
+					return
+				}
+				m.Lock()
+				for len(q) == capacity {
+					notFull.Wait()
+				}
+				q = append(q, int(n))
+				m.Unlock()
+				notEmpty.Signal()
+				sumIn.Add(n)
+			}
+		}()
+	}
+	for cns := 0; cns < consumers; cns++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := consumed.Add(1)
+				if n > items {
+					return
+				}
+				m.Lock()
+				for len(q) == 0 {
+					notEmpty.Wait()
+				}
+				v := q[0]
+				q = q[1:]
+				m.Unlock()
+				notFull.Signal()
+				sumOut.Add(int64(v))
+			}
+		}()
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("monitor queue deadlocked")
+	}
+	if sumIn.Load() != sumOut.Load() {
+		t.Fatalf("checksum mismatch: %d != %d", sumIn.Load(), sumOut.Load())
+	}
+}
+
+func TestCondFIFOWakeOrder(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	const waiters = 5
+	order := make(chan int, waiters)
+	queued := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			m.Lock()
+			queued <- struct{}{}
+			c.Wait()
+			order <- i
+			m.Unlock()
+		}()
+		<-queued
+		// The goroutine holds the lock until Wait queues it and
+		// releases; take and release the lock to be sure it is queued
+		// before launching the next waiter.
+		m.Lock()
+		m.Unlock()
+	}
+	for want := 0; want < waiters; want++ {
+		m.Lock()
+		c.Signal()
+		m.Unlock()
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("wake order: waiter %d at position %d", got, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("signaled waiter never reported")
+		}
+	}
+}
+
+func TestCondStressSignalBroadcastMix(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	stop := false
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Lock()
+				if stop {
+					m.Unlock()
+					return
+				}
+				c.Wait()
+				m.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		m.Lock()
+		if i%7 == 0 {
+			c.Broadcast()
+		} else {
+			c.Signal()
+		}
+		m.Unlock()
+	}
+	m.Lock()
+	stop = true
+	c.Broadcast()
+	m.Unlock()
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress mix deadlocked (lost wakeup?)")
+	}
+}

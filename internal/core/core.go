@@ -1,0 +1,140 @@
+// Package core implements QSync — the reconstructed "new synchronization
+// mechanism" of the ICPP 1991 paper — as a real Go library.
+//
+// The mechanism is a single-word queueing cell: waiters enqueue a small
+// per-waiter record with one atomic swap, wait on a flag in their own
+// record (their own cache line), and are released by direct hand-off
+// from the previous holder writing that flag. One primitive yields a
+// whole family of synchronization disciplines:
+//
+//   - Mutex: FIFO mutual exclusion with constant interconnect traffic
+//     per acquisition (the queue lock itself).
+//   - RWMutex: fair reader-writer locking with reader chaining.
+//   - Semaphore: counting semaphore with direct hand-off to the oldest
+//     waiter.
+//   - Event and Sequencer: the classic eventcount/sequencer pair.
+//   - Barrier and TreeBarrier: episode synchronization.
+//
+// Waiters support two strategies (WaitMode): pure spinning, which
+// matches the paper's dedicated-processor model, and spin-then-park,
+// which is the futex usage pattern that eventually superseded primitives
+// of this family — provided here both for practicality and because the
+// comparison is itself one of the reproduced experiments (F12).
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WaitMode selects how a waiter passes the time until granted.
+type WaitMode int
+
+const (
+	// SpinPark spins briefly, then parks on a channel until granted.
+	// This is the right default on a time-shared system: oversubscribed
+	// waiters cost almost nothing.
+	SpinPark WaitMode = iota
+	// Spin never blocks; it spins with periodic runtime.Gosched calls.
+	// This matches the paper's dedicated-processor assumption and gives
+	// the lowest hand-off latency when every waiter owns a CPU.
+	Spin
+)
+
+func (w WaitMode) String() string {
+	switch w {
+	case SpinPark:
+		return "spin-park"
+	case Spin:
+		return "spin"
+	}
+	return "waitmode(?)"
+}
+
+// Node states. Granted is zero so a freshly zeroed node is "granted",
+// but pool reset always establishes Waiting explicitly before use.
+const (
+	stateGranted uint32 = iota
+	stateWaiting
+	stateParked
+)
+
+// node is the mechanism's per-waiter record: one queue link plus one
+// grant flag, padded so two nodes never share a cache line (local
+// spinning is the whole point).
+type node struct {
+	next  atomic.Pointer[node]
+	state atomic.Uint32
+	park  chan struct{}
+	_     [40]byte // pad to a typical 64-byte line with the fields above
+}
+
+// spinBudget is how many check iterations SpinPark performs before
+// parking. Tuned loosely: long enough to cover a short critical section
+// on another CPU, short enough not to burn a scheduling quantum.
+const spinBudget = 4096
+
+// goschedEvery is how many spin iterations pass between runtime.Gosched
+// calls. Yielding keeps spin loops live when goroutines outnumber CPUs,
+// but it must be *sparse*: a waiter that yields is frequently
+// descheduled at the instant it is granted, turning a ~100ns cache-line
+// hand-off into a multi-microsecond scheduler round trip (measured 50x
+// on this workload's hot path).
+const goschedEvery = 8192
+
+// wait blocks until the node is granted, using the given mode.
+func (n *node) wait(mode WaitMode) {
+	if mode == Spin {
+		for i := 1; n.state.Load() != stateGranted; i++ {
+			if i%goschedEvery == 0 {
+				runtime.Gosched()
+			}
+		}
+		return
+	}
+	for i := 0; i < spinBudget; i++ {
+		if n.state.Load() == stateGranted {
+			return
+		}
+	}
+	for {
+		if n.state.CompareAndSwap(stateWaiting, stateParked) {
+			<-n.park
+			return // the only park signal is the grant
+		}
+		if n.state.Load() == stateGranted {
+			return
+		}
+		// Lost a race against a grant in progress; re-check.
+		runtime.Gosched()
+	}
+}
+
+// grant releases the waiter: direct hand-off.
+func (n *node) grant() {
+	if n.state.Swap(stateGranted) == stateParked {
+		n.park <- struct{}{}
+	}
+}
+
+// nodePool recycles nodes. A node may be returned to the pool as soon
+// as its owner's acquire/release protocol no longer references it; each
+// primitive documents where that point is.
+var nodePool = sync.Pool{
+	New: func() interface{} {
+		return &node{park: make(chan struct{}, 1)}
+	},
+}
+
+// newNode returns a reset node in the Waiting state.
+func newNode() *node {
+	n := nodePool.Get().(*node)
+	n.next.Store(nil)
+	n.state.Store(stateWaiting)
+	return n
+}
+
+func putNode(n *node) {
+	nodePool.Put(n)
+}

@@ -1,0 +1,134 @@
+package core
+
+import "sync/atomic"
+
+// Event is an eventcount: a monotonically increasing counter that
+// waiters can await crossing a threshold. Together with Sequencer it
+// forms the classic pre-futex producer/consumer discipline: a consumer
+// takes a ticket from a Sequencer and Awaits the Event reaching it; a
+// producer Advances the Event once per item. The band note "superseded
+// by modern futex/atomics" is about exactly this pattern — futex wait/
+// wake generalized it — so the library keeps the original discipline
+// and layers the modern waiter underneath.
+//
+// Construct with NewEvent (or use the zero value, which starts at 0 in
+// SpinPark mode). An Event must not be copied after first use.
+type Event struct {
+	count atomic.Uint64
+	nwait atomic.Int32 // registered waiters, for the advance fast path
+	mu    spinLock
+	// waiters is a min-heap ordered by target; guarded by mu.
+	waiters []eventWaiter
+	// Mode selects the waiter strategy; set before first use.
+	Mode WaitMode
+}
+
+type eventWaiter struct {
+	target uint64
+	n      *node
+}
+
+// NewEvent returns an eventcount starting at zero.
+func NewEvent() *Event { return &Event{} }
+
+// Read returns the current count.
+func (e *Event) Read() uint64 { return e.count.Load() }
+
+// Await blocks until the count is at least target.
+func (e *Event) Await(target uint64) {
+	if e.count.Load() >= target {
+		return
+	}
+	e.mu.lock()
+	// Dekker-style handshake with AdvanceN's fast path: publish our
+	// intent to wait before the final count recheck. AdvanceN bumps the
+	// count before reading nwait, so at least one side always sees the
+	// other — no lost wakeups.
+	e.nwait.Add(1)
+	if e.count.Load() >= target {
+		e.nwait.Add(-1)
+		e.mu.unlock()
+		return
+	}
+	n := newNode()
+	e.pushWaiter(eventWaiter{target: target, n: n})
+	e.mu.unlock()
+	n.wait(e.Mode)
+	putNode(n)
+}
+
+// Advance increments the count by one, waking every waiter whose target
+// has been reached, and returns the new value.
+func (e *Event) Advance() uint64 { return e.AdvanceN(1) }
+
+// AdvanceN increments the count by k and wakes accordingly.
+func (e *Event) AdvanceN(k uint64) uint64 {
+	v := e.count.Add(k)
+	if e.nwait.Load() == 0 {
+		// No registered waiters. A waiter registering concurrently has
+		// already published nwait before rechecking the count, and our
+		// Add preceded this load, so it will observe count >= target
+		// and never sleep.
+		return v
+	}
+	e.mu.lock()
+	var wake []*node
+	for len(e.waiters) > 0 && e.waiters[0].target <= v {
+		wake = append(wake, e.popWaiter().n)
+		e.nwait.Add(-1)
+	}
+	e.mu.unlock()
+	for _, n := range wake {
+		n.grant()
+	}
+	return v
+}
+
+// pushWaiter inserts into the min-heap; caller holds mu.
+func (e *Event) pushWaiter(w eventWaiter) {
+	e.waiters = append(e.waiters, w)
+	i := len(e.waiters) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.waiters[parent].target <= e.waiters[i].target {
+			break
+		}
+		e.waiters[parent], e.waiters[i] = e.waiters[i], e.waiters[parent]
+		i = parent
+	}
+}
+
+// popWaiter removes the minimum-target waiter; caller holds mu.
+func (e *Event) popWaiter() eventWaiter {
+	top := e.waiters[0]
+	last := len(e.waiters) - 1
+	e.waiters[0] = e.waiters[last]
+	e.waiters = e.waiters[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(e.waiters) && e.waiters[l].target < e.waiters[smallest].target {
+			smallest = l
+		}
+		if r < len(e.waiters) && e.waiters[r].target < e.waiters[smallest].target {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.waiters[i], e.waiters[smallest] = e.waiters[smallest], e.waiters[i]
+		i = smallest
+	}
+	return top
+}
+
+// Sequencer dispenses strictly increasing tickets starting at 1, the
+// companion of Event: Ticket then Await(ticket) serializes consumers in
+// arrival order.
+type Sequencer struct {
+	next atomic.Uint64
+}
+
+// Ticket returns the next ticket (1, 2, 3, ...).
+func (s *Sequencer) Ticket() uint64 { return s.next.Add(1) }

@@ -1,0 +1,13 @@
+package core
+
+import "unsafe"
+
+// Footprint reports the memory cost of the mechanism's primitives in
+// this implementation: bytes per Mutex, per waiter record, per RWMutex,
+// and per reader-writer waiter record. The experiment harness uses it
+// for the T2 space table; the sizes include the cache-line padding that
+// makes local spinning local.
+func Footprint() (lockBytes, waiterBytes, rwLockBytes, rwWaiterBytes uintptr) {
+	return unsafe.Sizeof(Mutex{}), unsafe.Sizeof(node{}),
+		unsafe.Sizeof(RWMutex{}), unsafe.Sizeof(rwnode{})
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RWMutex is the mechanism applied to reader-writer synchronization: a
+// fair (FIFO) queue-based lock with reader chaining, following the
+// local-spin reader-writer algorithm of the 1991 literature. Readers
+// arriving behind active readers join them immediately; readers queued
+// behind a writer are granted as a batch when the writer leaves; writers
+// wait for the exact set of readers ahead of them. No starvation in
+// either direction.
+//
+// Because waiters' records are CAS-targets of their successors, RWMutex
+// waiters always spin (with runtime.Gosched); there is no park mode.
+// Use it where phases are short or CPUs are dedicated — the same
+// assumption the paper makes.
+//
+// Readers receive an RToken from RLock and must pass it to RUnlock; the
+// write side is token-free because there is at most one writer.
+// The zero value is an unlocked RWMutex. It must not be copied after use.
+type RWMutex struct {
+	tail        atomic.Pointer[rwnode]
+	readerCount atomic.Int32
+	nextWriter  atomic.Pointer[rwnode]
+	wHolder     *rwnode // current writer's node; accessed only by the writer
+}
+
+// RToken identifies one reader's participation between RLock and
+// RUnlock.
+type RToken struct {
+	n *rwnode
+}
+
+// Reader/writer classes.
+const (
+	classReader uint32 = iota
+	classWriter
+)
+
+// rwnode state word layout: bit 0 = blocked; bits 1-2 = successor class.
+const (
+	rwBlocked    uint32 = 1 << 0
+	rwSuccShift         = 1
+	rwSuccMask   uint32 = 3 << rwSuccShift
+	rwSuccNone   uint32 = 0 << rwSuccShift
+	rwSuccReader uint32 = 1 << rwSuccShift
+	rwSuccWriter uint32 = 2 << rwSuccShift
+)
+
+type rwnode struct {
+	next  atomic.Pointer[rwnode]
+	state atomic.Uint32 // blocked flag + successor class, one CAS-able word
+	class uint32        // set before publication, read-only afterwards
+	_     [44]byte      // cache-line padding
+}
+
+var rwPool = sync.Pool{New: func() interface{} { return new(rwnode) }}
+
+// spinWait spins until cond returns true, yielding periodically.
+func spinWait(cond func() bool) {
+	for i := 0; !cond(); i++ {
+		if i%4096 == 4095 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// newRWNode returns a reset node.
+func newRWNode(class uint32) *rwnode {
+	n := rwPool.Get().(*rwnode)
+	n.next.Store(nil)
+	n.state.Store(rwBlocked | rwSuccNone)
+	n.class = class
+	return n
+}
+
+// setSuccClass atomically merges a successor class into the state word,
+// preserving the blocked bit (CAS loop; atomic OR would also do).
+func (n *rwnode) setSuccClass(sc uint32) {
+	for {
+		old := n.state.Load()
+		if n.state.CompareAndSwap(old, (old&^rwSuccMask)|sc) {
+			return
+		}
+	}
+}
+
+// clearBlocked atomically clears the blocked bit, preserving the
+// successor class.
+func (n *rwnode) clearBlocked() {
+	for {
+		old := n.state.Load()
+		if n.state.CompareAndSwap(old, old&^rwBlocked) {
+			return
+		}
+	}
+}
+
+func (n *rwnode) blocked() bool { return n.state.Load()&rwBlocked != 0 }
+
+func (n *rwnode) succClass() uint32 { return n.state.Load() & rwSuccMask }
+
+// Lock acquires the write lock, waiting behind all earlier requests and
+// ahead of all later ones.
+func (rw *RWMutex) Lock() {
+	n := newRWNode(classWriter)
+	pred := rw.tail.Swap(n)
+	if pred == nil {
+		rw.nextWriter.Store(n)
+		if rw.readerCount.Load() == 0 && rw.nextWriter.Swap(nil) == n {
+			n.clearBlocked()
+		}
+	} else {
+		pred.setSuccClass(rwSuccWriter)
+		pred.next.Store(n)
+	}
+	spinWait(func() bool { return !n.blocked() })
+	rw.wHolder = n
+}
+
+// Unlock releases the write lock. The successor — a batch of readers or
+// the next writer — is granted directly. Unlocking an unheld write lock
+// panics.
+func (rw *RWMutex) Unlock() {
+	n := rw.wHolder
+	if n == nil {
+		panic("core: Unlock of un-write-locked RWMutex")
+	}
+	rw.wHolder = nil
+	if n.next.Load() != nil || !rw.tail.CompareAndSwap(n, nil) {
+		spinWait(func() bool { return n.next.Load() != nil })
+		next := n.next.Load()
+		if next.class == classReader {
+			rw.readerCount.Add(1)
+		}
+		next.clearBlocked()
+	}
+	rwPool.Put(n)
+}
+
+// RLock acquires a read lock and returns the token to release it with.
+func (rw *RWMutex) RLock() *RToken {
+	n := newRWNode(classReader)
+	pred := rw.tail.Swap(n)
+	if pred == nil {
+		rw.readerCount.Add(1)
+		n.clearBlocked()
+	} else {
+		if pred.class == classWriter ||
+			pred.state.CompareAndSwap(rwBlocked|rwSuccNone, rwBlocked|rwSuccReader) {
+			// Predecessor is a writer, or a still-blocked reader that
+			// will now chain-unblock us: wait our turn.
+			pred.next.Store(n)
+			spinWait(func() bool { return !n.blocked() })
+		} else {
+			// Predecessor is an active reader: join the read batch now.
+			rw.readerCount.Add(1)
+			pred.next.Store(n)
+			n.clearBlocked()
+		}
+	}
+	if n.succClass() == rwSuccReader {
+		// A reader queued behind us while we were blocked: pull it into
+		// the batch (reader chaining).
+		spinWait(func() bool { return n.next.Load() != nil })
+		rw.readerCount.Add(1)
+		n.next.Load().clearBlocked()
+	}
+	return &RToken{n: n}
+}
+
+// RUnlock releases a read lock acquired with RLock. The last reader of
+// a batch hands off to the waiting writer, if any.
+func (rw *RWMutex) RUnlock(t *RToken) {
+	if t == nil || t.n == nil {
+		panic("core: RUnlock with invalid token")
+	}
+	n := t.n
+	t.n = nil
+	if n.next.Load() != nil || !rw.tail.CompareAndSwap(n, nil) {
+		spinWait(func() bool { return n.next.Load() != nil })
+		if n.succClass() == rwSuccWriter {
+			rw.nextWriter.Store(n.next.Load())
+		}
+	}
+	if rw.readerCount.Add(-1) == 0 {
+		if w := rw.nextWriter.Swap(nil); w != nil {
+			w.clearBlocked()
+		}
+	}
+	rwPool.Put(n)
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWMutexBasic(t *testing.T) {
+	var rw RWMutex
+	rw.Lock()
+	rw.Unlock()
+	tok := rw.RLock()
+	rw.RUnlock(tok)
+}
+
+func TestRWMutexWriterExcludesWriters(t *testing.T) {
+	var rw RWMutex
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				rw.Lock()
+				counter++
+				rw.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*2000 {
+		t.Fatalf("counter = %d, want %d", counter, 8*2000)
+	}
+}
+
+func TestRWMutexReadersCoexistWritersExclude(t *testing.T) {
+	var rw RWMutex
+	var readers atomic.Int32
+	var writers atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				tok := rw.RLock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					violations.Add(1)
+				}
+				readers.Add(-1)
+				rw.RUnlock(tok)
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 800; i++ {
+				rw.Lock()
+				if writers.Add(1) != 1 {
+					violations.Add(1)
+				}
+				if readers.Load() != 0 {
+					violations.Add(1)
+				}
+				writers.Add(-1)
+				rw.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d reader/writer exclusion violations", v)
+	}
+}
+
+func TestRWMutexReadersShareConcurrently(t *testing.T) {
+	// Two readers must be able to hold the lock at the same time: reader
+	// A takes the lock and waits for reader B to join before releasing.
+	var rw RWMutex
+	aIn := make(chan struct{})
+	bIn := make(chan struct{})
+	go func() {
+		tok := rw.RLock()
+		close(aIn)
+		select {
+		case <-bIn:
+		case <-time.After(10 * time.Second):
+		}
+		rw.RUnlock(tok)
+	}()
+	<-aIn
+	done := make(chan struct{})
+	go func() {
+		tok := rw.RLock() // must succeed while A still holds
+		close(bIn)
+		rw.RUnlock(tok)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("second reader could not join while first held the read lock")
+	}
+}
+
+func TestRWMutexWriterNotStarvedByReaders(t *testing.T) {
+	// A continuous stream of readers must not starve a writer: the queue
+	// is FIFO, so the writer gets in once the readers ahead of it leave.
+	var rw RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tok := rw.RLock()
+				rw.RUnlock(tok)
+			}
+		}()
+	}
+	acquired := make(chan struct{})
+	go func() {
+		rw.Lock()
+		rw.Unlock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(20 * time.Second):
+		t.Fatal("writer starved by reader stream")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRWMutexReaderNotStarvedByWriters(t *testing.T) {
+	var rw RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rw.Lock()
+				rw.Unlock()
+			}
+		}()
+	}
+	acquired := make(chan struct{})
+	go func() {
+		tok := rw.RLock()
+		rw.RUnlock(tok)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(20 * time.Second):
+		t.Fatal("reader starved by writer stream")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRWMutexMixedStressInvariant(t *testing.T) {
+	// Writers maintain an invariant over two variables; readers verify it.
+	var rw RWMutex
+	x, y := 0, 0
+	var bad atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1200; i++ {
+				if (id+i)%4 == 0 {
+					rw.Lock()
+					x++
+					y++ // x == y always holds under the write lock
+					rw.Unlock()
+				} else {
+					tok := rw.RLock()
+					if x != y {
+						bad.Add(1)
+					}
+					rw.RUnlock(tok)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("readers observed %d broken invariants", bad.Load())
+	}
+	if x != y {
+		t.Fatalf("final x=%d y=%d", x, y)
+	}
+}
+
+func TestRWMutexUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unheld write lock did not panic")
+		}
+	}()
+	var rw RWMutex
+	rw.Unlock()
+}
+
+func TestRWMutexRUnlockNilTokenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock(nil) did not panic")
+		}
+	}()
+	var rw RWMutex
+	rw.RUnlock(nil)
+}
+
+func TestRWMutexRUnlockTwicePanics(t *testing.T) {
+	var rw RWMutex
+	tok := rw.RLock()
+	rw.RUnlock(tok)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double RUnlock did not panic")
+		}
+	}()
+	rw.RUnlock(tok)
+}

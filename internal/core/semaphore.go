@@ -1,0 +1,111 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinLock is a minimal internal ticket lock used to serialize the
+// short bookkeeping sections of Semaphore and Event. It is fair, tiny,
+// and never held across a wait.
+type spinLock struct {
+	next    atomic.Uint32
+	serving atomic.Uint32
+}
+
+func (s *spinLock) lock() {
+	t := s.next.Add(1) - 1
+	for i := 0; s.serving.Load() != t; i++ {
+		if i%4096 == 4095 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (s *spinLock) unlock() {
+	s.serving.Add(1)
+}
+
+// Semaphore is the mechanism applied to counting: a FIFO counting
+// semaphore with direct hand-off. A released permit goes straight to
+// the oldest waiter without re-competition, so waiters are served in
+// arrival order — the discipline the 1991 mechanism derives from its
+// queueing cell.
+//
+// Construct with NewSemaphore. A Semaphore must not be copied.
+type Semaphore struct {
+	mu    spinLock
+	count int64 // available permits; guarded by mu
+	head  *node // FIFO waiter list; guarded by mu
+	tail  *node
+	// Mode selects the waiter strategy; set before first use.
+	Mode WaitMode
+}
+
+// NewSemaphore returns a semaphore holding n permits. n may be zero
+// (a pure signaling semaphore) but not negative.
+func NewSemaphore(n int64) *Semaphore {
+	if n < 0 {
+		panic("core: NewSemaphore with negative permits")
+	}
+	return &Semaphore{count: n}
+}
+
+// Acquire takes one permit, waiting FIFO behind earlier requesters if
+// none is available.
+func (s *Semaphore) Acquire() {
+	s.mu.lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.unlock()
+		return
+	}
+	n := newNode()
+	if s.tail == nil {
+		s.head, s.tail = n, n
+	} else {
+		s.tail.next.Store(n)
+		s.tail = n
+	}
+	s.mu.unlock()
+	n.wait(s.Mode)
+	putNode(n) // granted: the releaser holds no further reference
+}
+
+// TryAcquire takes a permit only if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.lock()
+	ok := s.count > 0
+	if ok {
+		s.count--
+	}
+	s.mu.unlock()
+	return ok
+}
+
+// Release returns one permit. If anyone is waiting, the permit is
+// handed directly to the oldest waiter.
+func (s *Semaphore) Release() {
+	s.mu.lock()
+	if s.head != nil {
+		w := s.head
+		s.head = w.next.Load()
+		if s.head == nil {
+			s.tail = nil
+		}
+		s.mu.unlock()
+		w.grant()
+		return
+	}
+	s.count++
+	s.mu.unlock()
+}
+
+// Available reports the number of free permits at this instant (for
+// monitoring; the value may be stale by the time it is read).
+func (s *Semaphore) Available() int64 {
+	s.mu.lock()
+	c := s.count
+	s.mu.unlock()
+	return c
+}

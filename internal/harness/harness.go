@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options tune a harness run.
+type Options struct {
+	// Quick shrinks sweep sizes so the full suite finishes in seconds;
+	// used by tests and smoke runs. Full mode matches EXPERIMENTS.md.
+	Quick bool
+	// Seed for all simulated sweeps (deterministic; default 1).
+	Seed uint64
+	// CSVDir, when non-empty, receives one <id>.csv per table.
+	CSVDir string
+	// Progress, when non-nil, receives one line per sweep point.
+	Progress io.Writer
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// Experiment is one registry entry. An entry may regenerate several
+// closely related tables (e.g. F1 and F2 come from the same sweep).
+type Experiment struct {
+	IDs   []string // table ids produced, e.g. ["F1","F2"]
+	Title string
+	Run   func(o Options) ([]Table, error)
+}
+
+// Registry returns all experiments in canonical order.
+func Registry() []Experiment {
+	return []Experiment{
+		{IDs: []string{"T1"}, Title: "Uncontended lock latency (simulated cycles)", Run: runT1},
+		{IDs: []string{"F1", "F2", "T4"}, Title: "Bus machine lock sweep: cycles, bus transactions, scaling exponents", Run: runBusLockSweep},
+		{IDs: []string{"F3", "F4"}, Title: "NUMA machine lock sweep: cycles, remote references", Run: runNUMALockSweep},
+		{IDs: []string{"F5"}, Title: "Backoff parameter sensitivity vs the mechanism", Run: runF5},
+		{IDs: []string{"F6"}, Title: "Critical-section length crossover", Run: runF6},
+		{IDs: []string{"F7"}, Title: "Barrier sweep, bus machine", Run: runF7},
+		{IDs: []string{"F8"}, Title: "Barrier sweep, NUMA machine", Run: runF8},
+		{IDs: []string{"F9"}, Title: "Reader-writer throughput vs read fraction (real runtime)", Run: runF9},
+		{IDs: []string{"F10"}, Title: "Producer-consumer pipeline throughput (real runtime)", Run: runF10},
+		{IDs: []string{"F11"}, Title: "Real-runtime lock throughput vs goroutines", Run: runF11},
+		{IDs: []string{"F12"}, Title: "Spin vs spin-park under oversubscription (the futex story)", Run: runF12},
+		{IDs: []string{"F13"}, Title: "Simulated reader-writer locks vs read fraction", Run: runF13},
+		{IDs: []string{"F14"}, Title: "Simulated semaphores: bounded-buffer producer/consumer", Run: runF14},
+		{IDs: []string{"F15"}, Title: "Hot-spot counter: fetch&add vs software combining", Run: runF15},
+		{IDs: []string{"T2"}, Title: "Space cost per lock and per waiter", Run: runT2},
+		{IDs: []string{"T3"}, Title: "Fairness: acquisition spread and FIFO inversions", Run: runT3},
+		{IDs: []string{"A1"}, Title: "Ablation: machine timing-parameter sensitivity", Run: runA1},
+	}
+}
+
+// IDList returns every table id in the registry, sorted.
+func IDList() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.IDs...)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds the experiment producing table id.
+func Lookup(id string) (Experiment, bool) {
+	id = strings.ToUpper(strings.TrimSpace(id))
+	for _, e := range Registry() {
+		for _, eid := range e.IDs {
+			if eid == id {
+				return e, true
+			}
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunIDs runs the experiments producing the requested table ids (all of
+// them when ids is empty), renders tables to w, and optionally writes
+// CSVs. Duplicate experiments (two ids from one sweep) run once.
+func RunIDs(ids []string, o Options, w io.Writer) error {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = Registry()
+	} else {
+		seen := map[string]bool{}
+		for _, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return fmt.Errorf("harness: unknown experiment %q (known: %s)", id, strings.Join(IDList(), " "))
+			}
+			key := strings.Join(e.IDs, "+")
+			if !seen[key] {
+				seen[key] = true
+				exps = append(exps, e)
+			}
+		}
+	}
+	for _, e := range exps {
+		o.progressf("== running %s: %s\n", strings.Join(e.IDs, "+"), e.Title)
+		tables, err := e.Run(o)
+		if err != nil {
+			return fmt.Errorf("harness: %s: %w", strings.Join(e.IDs, "+"), err)
+		}
+		for i := range tables {
+			tables[i].Render(w)
+			if o.CSVDir != "" {
+				if err := writeCSVFile(o.CSVDir, tables[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(dir string, t Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:    "TX",
+		Title: "demo",
+		Note:  "shape",
+		Cols:  []string{"a", "bb"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("10", "20")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"TX", "demo", "shape", "bb", "20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Cols: []string{"x", "y"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		1234:   "1234",
+		123.4:  "123",
+		12.345: "12.35",
+		0.1234: "0.123",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range IDList() {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("registry id %q not found by Lookup", id)
+		}
+	}
+	if _, ok := Lookup("F99"); ok {
+		t.Fatal("bogus id found")
+	}
+	// Case-insensitive.
+	if _, ok := Lookup("f2"); !ok {
+		t.Fatal("lower-case lookup failed")
+	}
+}
+
+func TestRegistryCoversDesignDoc(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5",
+		"F6", "F7", "F8", "F9", "F10", "F11", "F12"}
+	have := map[string]bool{}
+	for _, id := range IDList() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s from DESIGN.md missing from registry", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunIDs([]string{"nope"}, Options{Quick: true}, &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Each experiment must run end-to-end in quick mode and produce
+// non-empty tables whose ids match the registry.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness sweep still takes a few seconds")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(strings.Join(e.IDs, "+"), func(t *testing.T) {
+			tables, err := e.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) != len(e.IDs) {
+				t.Fatalf("produced %d tables for ids %v", len(tables), e.IDs)
+			}
+			for i, tb := range tables {
+				if tb.ID != e.IDs[i] {
+					t.Errorf("table %d id %q, want %q", i, tb.ID, e.IDs[i])
+				}
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %s has no rows", tb.ID)
+				}
+				if len(tb.Cols) == 0 {
+					t.Errorf("table %s has no columns", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Cols) {
+						t.Errorf("table %s row width %d != %d cols", tb.ID, len(row), len(tb.Cols))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunIDsWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := RunIDs([]string{"T2"}, Options{Quick: true, CSVDir: dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "T2.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "qsync") {
+		t.Fatal("csv content suspect")
+	}
+	if !strings.Contains(buf.String(), "T2") {
+		t.Fatal("table not rendered")
+	}
+}
+
+func TestRunIDsDeduplicates(t *testing.T) {
+	// F1 and F2 come from the same sweep; requesting both must run once.
+	var buf bytes.Buffer
+	err := RunIDs([]string{"T1", "T1"}, Options{Quick: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "T1 — ") != 1 {
+		t.Fatalf("T1 rendered %d times", strings.Count(buf.String(), "T1 — "))
+	}
+}

@@ -1,0 +1,99 @@
+// Package harness is the experiment driver: it knows every figure and
+// table of the reconstructed evaluation, runs the matching simulated or
+// real workload sweeps, and renders results as aligned text tables or
+// CSV. cmd/syncbench is a thin CLI over this package.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one figure or table of the evaluation, in row form.
+type Table struct {
+	ID    string   // experiment id, e.g. "F2"
+	Title string   // human title
+	Note  string   // expected shape from the 1991 literature
+	Cols  []string // column headers
+	Rows  [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fmt formats a float for table cells: integers plainly, small values
+// with sensible precision.
+func Fmt(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "expected shape: %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(strings.Repeat(" ", pad))
+			sb.WriteString(c)
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Cols)
+	total := len(t.Cols) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV writes the table in CSV form (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package locks
+
+// raceEnabled scales stress-test sizes down under the race detector:
+// instrumented atomics make spin loops ~100x slower, and the full-size
+// stress runs exceed the test timeout without telling us anything the
+// small runs do not.
+const raceEnabled = true

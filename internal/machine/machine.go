@@ -1,0 +1,438 @@
+// Package machine models a 1991-class shared-memory multiprocessor with
+// cycle-level timing, suitable for measuring synchronization algorithms the
+// way the ICPP/TOCS literature of that era did: elapsed cycles and
+// interconnect transactions per operation.
+//
+// Two machine models are provided:
+//
+//   - Bus: a symmetric bus-based multiprocessor with per-processor caches
+//     kept consistent by a write-invalidate protocol (Sequent Symmetry
+//     class). The interesting metric is bus transactions.
+//   - NUMA: a distributed-memory machine without coherent caches, where
+//     each processor owns a memory module and remote references traverse
+//     an interconnection network (BBN Butterfly class). The interesting
+//     metric is remote references, and spinning on remote words is
+//     modeled as periodic polling.
+//
+// An Ideal model (unit latency, no contention) exists for unit tests.
+//
+// Processors execute ordinary Go closures against the Proc API; every
+// memory operation advances the virtual clock through the deterministic
+// event engine in internal/sim, so runs are exactly reproducible.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Word is the machine word. All simulated memory holds Words.
+type Word uint64
+
+// Addr indexes a word in simulated memory.
+type Addr int32
+
+// NilAddr is an out-of-band address used by algorithms to mean "no node".
+const NilAddr Addr = -1
+
+// PtrWord encodes an address as a non-zero Word so that Word(0) can mean
+// "nil pointer" in simulated data structures.
+func PtrWord(a Addr) Word { return Word(a) + 1 }
+
+// WordPtr decodes a Word previously produced by PtrWord. Word(0) decodes
+// to NilAddr.
+func WordPtr(w Word) Addr {
+	if w == 0 {
+		return NilAddr
+	}
+	return Addr(w - 1)
+}
+
+// Model selects the memory-system model.
+type Model int
+
+const (
+	// Ideal has unit-latency uncontended memory. For tests.
+	Ideal Model = iota
+	// Bus is the snooping write-invalidate cache-coherent model.
+	Bus
+	// NUMA is the non-coherent distributed-memory model.
+	NUMA
+)
+
+func (m Model) String() string {
+	switch m {
+	case Ideal:
+		return "ideal"
+	case Bus:
+		return "bus"
+	case NUMA:
+		return "numa"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Config describes a machine. Zero fields take defaults from Defaults.
+type Config struct {
+	Procs int   // number of processors (Bus model: at most 64)
+	Model Model // memory system model
+
+	// Timing, in cycles.
+	CacheHit     sim.Time // cache hit (Bus); default 1
+	BusLatency   sim.Time // full bus transaction (Bus); default 20
+	LocalMem     sim.Time // local module access (NUMA); default 2
+	RemoteMem    sim.Time // added network traversal for remote refs (NUMA); default 12
+	PollInterval sim.Time // spacing between remote spin polls (NUMA); default 36
+
+	SharedWords int // size of the shared heap; default 1<<16
+	LocalWords  int // per-processor local region (NUMA placement); default 1<<12
+
+	Seed     uint64 // RNG seed; default 1
+	MaxSteps uint64 // event limit; default sim.DefaultMaxSteps
+}
+
+// Defaults fills in zero fields and returns the completed config.
+func (c Config) Defaults() Config {
+	if c.Procs == 0 {
+		c.Procs = 1
+	}
+	if c.CacheHit == 0 {
+		c.CacheHit = 1
+	}
+	if c.BusLatency == 0 {
+		c.BusLatency = 20
+	}
+	if c.LocalMem == 0 {
+		c.LocalMem = 2
+	}
+	if c.RemoteMem == 0 {
+		c.RemoteMem = 12
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 36
+	}
+	if c.SharedWords == 0 {
+		c.SharedWords = 1 << 16
+	}
+	if c.LocalWords == 0 {
+		c.LocalWords = 1 << 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Procs < 1 {
+		return errors.New("machine: need at least one processor")
+	}
+	if c.Model == Bus && c.Procs > 64 {
+		return errors.New("machine: bus model supports at most 64 processors (sharer bitmask)")
+	}
+	if c.Procs > 1024 {
+		return errors.New("machine: at most 1024 processors")
+	}
+	return nil
+}
+
+// ProcStats are per-processor counters.
+type ProcStats struct {
+	Loads      uint64
+	Stores     uint64
+	RMWs       uint64
+	BusTxns    uint64 // Bus model: transactions this processor caused
+	RemoteRefs uint64 // NUMA model: remote references this processor made
+}
+
+// Stats is a machine-wide counter snapshot.
+type Stats struct {
+	Cycles     sim.Time // virtual time at the end of the run
+	Events     uint64   // engine events processed
+	Loads      uint64
+	Stores     uint64
+	RMWs       uint64
+	BusTxns    uint64
+	RemoteRefs uint64
+	PerProc    []ProcStats
+}
+
+// Traffic returns the model-appropriate interconnect transaction count:
+// bus transactions on a Bus machine, remote references on NUMA, and the
+// total operation count on Ideal (where every access is uniform).
+func (s Stats) TrafficFor(m Model) uint64 {
+	switch m {
+	case Bus:
+		return s.BusTxns
+	case NUMA:
+		return s.RemoteRefs
+	default:
+		return s.Loads + s.Stores + s.RMWs
+	}
+}
+
+// Machine is a simulated multiprocessor. Construct with New, allocate
+// simulated memory, then Run programs.
+type Machine struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	mem     []Word
+	sharers []uint64 // Bus: bitmask of caching processors, per word
+	owner   []int16  // Bus: processor holding the word exclusive, or -1
+
+	busFreeAt sim.Time
+	modFreeAt []sim.Time // NUMA: per-module port availability
+
+	watchers map[Addr][]*Proc
+
+	procs []*Proc
+	live  int
+
+	nextShared Addr
+	nextLocal  []Addr
+
+	stats   Stats
+	aborted chan struct{}
+	ran     bool
+	progErr error // first panic raised by a simulated program
+}
+
+// New builds a machine from cfg (zero fields defaulted).
+func New(cfg Config) (*Machine, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	total := cfg.SharedWords + cfg.Procs*cfg.LocalWords
+	m := &Machine{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		rng:      sim.NewRNG(cfg.Seed),
+		mem:      make([]Word, total),
+		watchers: make(map[Addr][]*Proc),
+		procs:    make([]*Proc, cfg.Procs),
+		nextLocal: func() []Addr {
+			cursors := make([]Addr, cfg.Procs)
+			for i := range cursors {
+				cursors[i] = Addr(cfg.SharedWords + i*cfg.LocalWords)
+			}
+			return cursors
+		}(),
+		aborted: make(chan struct{}),
+	}
+	if cfg.MaxSteps != 0 {
+		m.eng.SetMaxSteps(cfg.MaxSteps)
+	}
+	if cfg.Model == Bus {
+		m.sharers = make([]uint64, total)
+		m.owner = make([]int16, total)
+		for i := range m.owner {
+			m.owner[i] = -1
+		}
+	}
+	if cfg.Model == NUMA {
+		m.modFreeAt = make([]sim.Time, cfg.Procs)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.procs[i] = &Proc{
+			id:     i,
+			m:      m,
+			rng:    m.rng.Derive(uint64(i)),
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+	}
+	return m, nil
+}
+
+// Config returns the completed configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// AllocShared reserves n words in the shared heap and returns the base
+// address. Memory is zeroed. Panics when the heap is exhausted, since
+// that is a configuration error in an experiment, not a runtime condition.
+func (m *Machine) AllocShared(n int) Addr {
+	if n <= 0 {
+		panic("machine: AllocShared with non-positive size")
+	}
+	base := m.nextShared
+	if int(base)+n > m.cfg.SharedWords {
+		panic(fmt.Sprintf("machine: shared heap exhausted (%d words)", m.cfg.SharedWords))
+	}
+	m.nextShared += Addr(n)
+	return base
+}
+
+// AllocLocal reserves n words in processor p's local module. On the Bus
+// model locality has no timing effect but placement is still tracked, so
+// algorithms are written once.
+func (m *Machine) AllocLocal(p, n int) Addr {
+	if p < 0 || p >= m.cfg.Procs {
+		panic("machine: AllocLocal processor out of range")
+	}
+	if n <= 0 {
+		panic("machine: AllocLocal with non-positive size")
+	}
+	base := m.nextLocal[p]
+	limit := Addr(m.cfg.SharedWords + (p+1)*m.cfg.LocalWords)
+	if base+Addr(n) > limit {
+		panic(fmt.Sprintf("machine: local heap of processor %d exhausted (%d words)", p, m.cfg.LocalWords))
+	}
+	m.nextLocal[p] += Addr(n)
+	return base
+}
+
+// home returns the memory module owning addr: local regions belong to
+// their processor; the shared region is interleaved across modules.
+func (m *Machine) home(a Addr) int {
+	if int(a) >= m.cfg.SharedWords {
+		return (int(a) - m.cfg.SharedWords) / m.cfg.LocalWords
+	}
+	return int(a) % m.cfg.Procs
+}
+
+// Peek reads simulated memory without timing effects (host-side checks).
+func (m *Machine) Peek(a Addr) Word { return m.mem[a] }
+
+// Poke writes simulated memory without timing effects. Only valid before
+// Run starts (initialization) — it does not wake watchers.
+func (m *Machine) Poke(a Addr, v Word) {
+	if m.ran {
+		panic("machine: Poke after Run started")
+	}
+	m.mem[a] = v
+}
+
+// Stats returns a snapshot of the machine counters. Valid after Run.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.eng.Now()
+	s.Events = m.eng.Steps()
+	s.PerProc = make([]ProcStats, len(m.procs))
+	for i, p := range m.procs {
+		s.PerProc[i] = p.stats
+		s.Loads += p.stats.Loads
+		s.Stores += p.stats.Stores
+		s.RMWs += p.stats.RMWs
+	}
+	return s
+}
+
+// Run executes the same program body on every processor (SPMD style; the
+// body distinguishes processors via p.ID()) and drives the simulation to
+// completion. It returns an error on livelock (event limit) or deadlock
+// (all processors blocked with no pending events).
+func (m *Machine) Run(body func(p *Proc)) error {
+	bodies := make([]func(p *Proc), m.cfg.Procs)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return m.RunEach(bodies)
+}
+
+// RunEach executes one program per processor. len(bodies) must equal the
+// processor count.
+func (m *Machine) RunEach(bodies []func(p *Proc)) error {
+	if len(bodies) != m.cfg.Procs {
+		return fmt.Errorf("machine: RunEach needs %d bodies, got %d", m.cfg.Procs, len(bodies))
+	}
+	if m.ran {
+		return errors.New("machine: Run called twice")
+	}
+	m.ran = true
+	m.live = m.cfg.Procs
+
+	var wg sync.WaitGroup
+	for i, p := range m.procs {
+		wg.Add(1)
+		body := bodies[i]
+		proc := p
+		go func() {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil || r == abortSentinel {
+					return
+				}
+				// A panic in the simulated program (bad address, logic
+				// error) surfaces as a Run error instead of killing the
+				// process. The panicking processor is the running one,
+				// so the engine is waiting for our yield.
+				if m.progErr == nil {
+					m.progErr = fmt.Errorf("machine: processor %d panicked: %v", proc.id, r)
+				}
+				proc.finished = true
+				m.live--
+				proc.yield <- struct{}{}
+			}()
+			proc.wait() // parked until the engine dispatches us at t=0
+			body(proc)
+			proc.finished = true
+			m.live--
+			proc.yield <- struct{}{}
+		}()
+		// Stagger start events by scheduling order; all at t=0.
+		m.eng.At(0, func() { m.dispatch(proc) })
+	}
+
+	err := m.eng.Run()
+	if m.progErr != nil {
+		err = m.progErr
+	} else if err == nil && m.live > 0 {
+		err = m.deadlockError()
+	}
+	// Release any still-parked processor goroutines.
+	close(m.aborted)
+	wg.Wait()
+	return err
+}
+
+func (m *Machine) deadlockError() error {
+	blocked := ""
+	for _, p := range m.procs {
+		if !p.finished {
+			if blocked != "" {
+				blocked += ", "
+			}
+			blocked += fmt.Sprintf("P%d(%s)", p.id, p.blockedOn)
+		}
+	}
+	return fmt.Errorf("machine: deadlock at t=%d with %d processors blocked: %s", m.eng.Now(), m.live, blocked)
+}
+
+// dispatch hands control to processor p until it blocks again. Exactly
+// one processor runs at a time; the engine goroutine waits here.
+func (m *Machine) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// wakeWatchers schedules every processor watching addr to resume at the
+// given absolute time. Spurious wakeups are fine: SpinUntil rechecks.
+func (m *Machine) wakeWatchers(a Addr, at sim.Time) {
+	ws := m.watchers[a]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m.watchers, a)
+	for _, p := range ws {
+		proc := p
+		m.eng.At(at, func() { m.dispatch(proc) })
+	}
+}
+
+var abortSentinel = new(int)

@@ -1,0 +1,100 @@
+package machine
+
+import "repro/internal/sim"
+
+// accessKind classifies a memory operation for the timing model.
+type accessKind int
+
+const (
+	accRead accessKind = iota
+	accWrite
+	accRMW // read-modify-write: write semantics plus a returned value
+)
+
+// access computes the latency of an operation by processor p on address a
+// and updates coherence state, interconnect occupancy, and traffic
+// counters. The caller applies the data mutation immediately (engine
+// event order equals interconnect arbitration order, so issue-order
+// application yields a sequentially consistent memory).
+func (m *Machine) access(p *Proc, a Addr, k accessKind) sim.Time {
+	if int(a) < 0 || int(a) >= len(m.mem) {
+		panic("machine: address out of range")
+	}
+	switch m.cfg.Model {
+	case Bus:
+		return m.accessBus(p, a, k)
+	case NUMA:
+		return m.accessNUMA(p, a, k)
+	default:
+		return 1 // Ideal: unit latency, no contention
+	}
+}
+
+// accessBus models a snooping write-invalidate protocol over a single
+// shared bus. Coherence granularity is one word (the model has no false
+// sharing; algorithms that need padding on real machines simply get it
+// for free here, which is the era-standard "padded to a cache line"
+// assumption).
+func (m *Machine) accessBus(p *Proc, a Addr, k accessKind) sim.Time {
+	bit := uint64(1) << uint(p.id)
+	switch k {
+	case accRead:
+		if m.sharers[a]&bit != 0 {
+			return m.cfg.CacheHit // hit: shared or exclusive copy present
+		}
+		lat := m.busTransaction(p)
+		// Read miss: any exclusive owner is downgraded to shared; the
+		// requester joins the sharer set.
+		m.owner[a] = -1
+		m.sharers[a] |= bit
+		return lat
+	default: // accWrite, accRMW
+		if m.owner[a] == int16(p.id) {
+			return m.cfg.CacheHit // already exclusive: write hit
+		}
+		lat := m.busTransaction(p)
+		// Invalidate all other copies; requester becomes exclusive owner.
+		m.sharers[a] = bit
+		m.owner[a] = int16(p.id)
+		return lat
+	}
+}
+
+// busTransaction serializes on the single bus and charges one
+// transaction to processor p.
+func (m *Machine) busTransaction(p *Proc) sim.Time {
+	now := m.eng.Now()
+	start := now
+	if m.busFreeAt > start {
+		start = m.busFreeAt
+	}
+	m.busFreeAt = start + m.cfg.BusLatency
+	p.stats.BusTxns++
+	m.stats.BusTxns++
+	return (start - now) + m.cfg.BusLatency
+}
+
+// accessNUMA models per-module memory ports and network traversal for
+// remote references. An access occupies the target module's port for
+// its full service time — LocalMem cycles for a local access,
+// LocalMem+RemoteMem for a remote one (the module and its switch path
+// are busy for the whole transaction on a Butterfly-class machine).
+// This occupancy is what makes hot-spot modules saturate: a word
+// hammered by P processors serves at most one request per service time,
+// and the queue in front of it grows with P.
+func (m *Machine) accessNUMA(p *Proc, a Addr, _ accessKind) sim.Time {
+	mod := m.home(a)
+	now := m.eng.Now()
+	start := now
+	if m.modFreeAt[mod] > start {
+		start = m.modFreeAt[mod]
+	}
+	service := m.cfg.LocalMem
+	if mod != p.id {
+		service += m.cfg.RemoteMem
+		p.stats.RemoteRefs++
+		m.stats.RemoteRefs++
+	}
+	m.modFreeAt[mod] = start + service
+	return (start - now) + service
+}

@@ -1,0 +1,200 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Proc is a simulated processor. Synchronization algorithms are written
+// as ordinary Go code against this API; every operation advances the
+// virtual clock and is charged model-appropriate interconnect cost.
+//
+// A Proc is only valid inside the program body passed to Machine.Run;
+// its methods must never be called from any other goroutine.
+type Proc struct {
+	id  int
+	m   *Machine
+	rng *sim.RNG
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	finished  bool
+	blockedOn string
+
+	stats ProcStats
+}
+
+// ID returns the processor index in [0, Procs).
+func (p *Proc) ID() int { return p.id }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
+
+// RNG returns this processor's private deterministic generator.
+func (p *Proc) RNG() *sim.RNG { return p.rng }
+
+// wait parks the processor until the engine dispatches it. If the
+// simulation is aborted (step limit, deadlock teardown) the processor
+// goroutine unwinds via the abort sentinel.
+func (p *Proc) wait() {
+	select {
+	case <-p.resume:
+	case <-p.m.aborted:
+		panic(abortSentinel)
+	}
+}
+
+// block charges lat cycles: it schedules this processor's wakeup and
+// yields to the engine.
+func (p *Proc) block(lat sim.Time, why string) {
+	p.blockedOn = why
+	proc := p
+	p.m.eng.After(lat, func() { p.m.dispatch(proc) })
+	p.yield <- struct{}{}
+	p.wait()
+	p.blockedOn = ""
+}
+
+// parkOnWatch registers this processor as a watcher of addr and yields
+// without scheduling a wakeup; only a write to addr (or teardown) resumes it.
+func (p *Proc) parkOnWatch(a Addr) {
+	p.blockedOn = fmt.Sprintf("watch@%d", a)
+	p.m.watchers[a] = append(p.m.watchers[a], p)
+	p.yield <- struct{}{}
+	p.wait()
+	p.blockedOn = ""
+}
+
+// Delay models local computation taking d cycles. Zero or negative
+// delays cost nothing but still yield, preserving fairness of the event
+// ordering.
+func (p *Proc) Delay(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.block(d, "delay")
+}
+
+// Load reads a word.
+func (p *Proc) Load(a Addr) Word {
+	p.stats.Loads++
+	lat := p.m.access(p, a, accRead)
+	v := p.m.mem[a]
+	p.block(lat, "load")
+	return v
+}
+
+// Store writes a word.
+func (p *Proc) Store(a Addr, v Word) {
+	p.stats.Stores++
+	lat := p.m.access(p, a, accWrite)
+	p.m.mem[a] = v
+	p.m.wakeWatchers(a, p.Now()+lat)
+	p.block(lat, "store")
+}
+
+// TestAndSet atomically sets the word to 1 and returns its old value.
+func (p *Proc) TestAndSet(a Addr) Word {
+	p.stats.RMWs++
+	lat := p.m.access(p, a, accRMW)
+	old := p.m.mem[a]
+	p.m.mem[a] = 1
+	p.m.wakeWatchers(a, p.Now()+lat)
+	p.block(lat, "test&set")
+	return old
+}
+
+// FetchStore atomically swaps in v and returns the old value.
+func (p *Proc) FetchStore(a Addr, v Word) Word {
+	p.stats.RMWs++
+	lat := p.m.access(p, a, accRMW)
+	old := p.m.mem[a]
+	p.m.mem[a] = v
+	p.m.wakeWatchers(a, p.Now()+lat)
+	p.block(lat, "fetch&store")
+	return old
+}
+
+// FetchAdd atomically adds d and returns the old value.
+func (p *Proc) FetchAdd(a Addr, d Word) Word {
+	p.stats.RMWs++
+	lat := p.m.access(p, a, accRMW)
+	old := p.m.mem[a]
+	p.m.mem[a] = old + d
+	p.m.wakeWatchers(a, p.Now()+lat)
+	p.block(lat, "fetch&add")
+	return old
+}
+
+// CompareAndSwap installs new if the word equals old, reporting success.
+// Failed CAS still costs a full interconnect transaction, as on real
+// hardware of the era.
+func (p *Proc) CompareAndSwap(a Addr, old, new Word) bool {
+	p.stats.RMWs++
+	lat := p.m.access(p, a, accRMW)
+	ok := p.m.mem[a] == old
+	if ok {
+		p.m.mem[a] = new
+		p.m.wakeWatchers(a, p.Now()+lat)
+	}
+	p.block(lat, "compare&swap")
+	return ok
+}
+
+// SpinUntil blocks until pred holds for the word at a, returning the
+// satisfying value. The cost model depends on the machine:
+//
+//   - Bus/Ideal: the classic cached spin. The first read may miss; while
+//     the value is unchanged the spinner consumes no interconnect
+//     bandwidth (it spins in its own cache); each write to the word
+//     invalidates and forces a re-read, charged through the normal path.
+//   - NUMA, word in another module: there is no cache to spin in, so the
+//     processor polls the remote module every PollInterval cycles; every
+//     poll is a remote reference. This is exactly why remote-spin
+//     algorithms melt Butterfly-class machines.
+//   - NUMA, word in this processor's module: local spin; watchers model
+//     the (free) local re-check and each wakeup pays one local access.
+func (p *Proc) SpinUntil(a Addr, pred func(Word) bool) Word {
+	remotePoll := p.m.cfg.Model == NUMA && p.m.home(a) != p.id
+	if remotePoll {
+		for {
+			v := p.Load(a)
+			if pred(v) {
+				return v
+			}
+			jitter := p.rng.Time(p.m.cfg.PollInterval/2 + 1)
+			p.Delay(p.m.cfg.PollInterval + jitter)
+		}
+	}
+	v := p.Load(a)
+	for !pred(v) {
+		// A write may have committed while our load was in flight (we
+		// were blocked paying its latency, so other processors ran). A
+		// real snooping cache would have observed that invalidation, so
+		// there is no lost wakeup in hardware; model the snoop by
+		// rechecking the committed value before parking and paying a
+		// normal re-read if it changed.
+		if pred(p.m.mem[a]) {
+			v = p.Load(a)
+			continue
+		}
+		p.parkOnWatch(a)
+		v = p.Load(a)
+	}
+	return v
+}
+
+// SpinWhileEq is shorthand for SpinUntil(a, v != sentinel).
+func (p *Proc) SpinWhileEq(a Addr, sentinel Word) Word {
+	return p.SpinUntil(a, func(v Word) bool { return v != sentinel })
+}
+
+// SpinUntilEq is shorthand for SpinUntil(a, v == want).
+func (p *Proc) SpinUntilEq(a Addr, want Word) Word {
+	return p.SpinUntil(a, func(v Word) bool { return v == want })
+}

@@ -1,0 +1,147 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, so a
+// simulation run is a pure function of its inputs: two runs with the same
+// seed and the same program produce bit-identical results. This determinism
+// is what lets the machine model (internal/machine) count cycles and
+// interconnect transactions exactly, the way 1991-era synchronization
+// studies did on real hardware.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point on the simulated clock, measured in cycles.
+type Time int64
+
+// Event is a closure scheduled to run at a virtual instant.
+type event struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among same-instant events
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ErrStepLimit is returned by Run when the configured maximum number of
+// events is exceeded, which almost always indicates a livelock in the
+// simulated program (for example, a spin loop that can never succeed).
+var ErrStepLimit = errors.New("sim: event step limit exceeded (livelock?)")
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	steps    uint64
+	maxSteps uint64
+}
+
+// DefaultMaxSteps bounds runaway simulations. Each simulated memory
+// operation is roughly one event, so this allows on the order of 10^8
+// operations before the engine declares a livelock.
+const DefaultMaxSteps = 200_000_000
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{maxSteps: DefaultMaxSteps}
+}
+
+// SetMaxSteps overrides the livelock guard. A value of zero restores the
+// default.
+func (e *Engine) SetMaxSteps(n uint64) {
+	if n == 0 {
+		n = DefaultMaxSteps
+	}
+	e.maxSteps = n
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the caller; the engine clamps it to "now" to preserve a
+// monotonic clock, which keeps bugs visible (time never runs backward)
+// without corrupting the heap invariant.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single next event, advancing the clock to its timestamp.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or the step limit trips.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.steps > e.maxSteps {
+			return fmt.Errorf("%w after %d events at t=%d", ErrStepLimit, e.steps, e.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 && e.events[0].when <= deadline {
+		if !e.Step() {
+			break
+		}
+		if e.steps > e.maxSteps {
+			return fmt.Errorf("%w after %d events at t=%d", ErrStepLimit, e.steps, e.now)
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{30, 10, 20, 10, 5} {
+		d := d
+		e.At(d, func() { got = append(got, d) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{5, 10, 10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockMonotonic(t *testing.T) {
+	e := NewEngine()
+	last := Time(-1)
+	// Events scheduled "in the past" from inside an event must clamp.
+	e.At(50, func() {
+		e.At(10, func() { // in the past relative to now=50
+			if e.Now() < 50 {
+				t.Errorf("clock ran backward: %d", e.Now())
+			}
+		})
+	})
+	e.At(5, func() {})
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("clock went backward: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 125 {
+		t.Fatalf("After fired at %d, want 125", at)
+	}
+}
+
+func TestEngineAfterNegativeClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(10, func() {
+		e.After(-5, func() {
+			fired = true
+			if e.Now() != 10 {
+				t.Errorf("negative After fired at %d, want 10", e.Now())
+			}
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+}
+
+func TestEngineStepLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxSteps(100)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.At(0, reschedule)
+	err := e.Run()
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("Run error = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestEngineSetMaxStepsZeroRestoresDefault(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxSteps(0)
+	if e.maxSteps != DefaultMaxSteps {
+		t.Fatalf("maxSteps = %d, want default", e.maxSteps)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(12); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("RunUntil(12) fired %v, want [5 10]", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock after RunUntil = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestEngineStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any random set of (time, index) pairs, the engine fires
+// them sorted by time and, within a time, by scheduling order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			when Time
+			idx  int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, when := i, Time(d)
+			e.At(when, func() { got = append(got, rec{when, i}) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		sorted := sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].when != got[j].when {
+				return got[i].when < got[j].when
+			}
+			return got[i].idx < got[j].idx
+		})
+		return sorted && len(got) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGDerive(t *testing.T) {
+	base := NewRNG(7)
+	d0 := base.Derive(0)
+	d1 := base.Derive(1)
+	if d0.Uint64() == d1.Uint64() {
+		t.Fatal("derived streams 0 and 1 start identically")
+	}
+	// Deriving must not disturb the base stream.
+	base2 := NewRNG(7)
+	if base.Uint64() != base2.Uint64() {
+		t.Fatal("Derive disturbed the base stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGExpTimeMean(t *testing.T) {
+	r := NewRNG(11)
+	const mean = 100
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.ExpTime(mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.05 {
+		t.Fatalf("ExpTime mean = %.1f, want ~%d", got, mean)
+	}
+}
+
+func TestRNGExpTimeZeroMean(t *testing.T) {
+	r := NewRNG(1)
+	if r.ExpTime(0) != 0 || r.ExpTime(-5) != 0 {
+		t.Fatal("ExpTime of non-positive mean should be 0")
+	}
+}
+
+func TestRNGTimeRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Time(23)
+		if v < 0 || v >= 23 {
+			t.Fatalf("Time(23) = %d out of range", v)
+		}
+	}
+}

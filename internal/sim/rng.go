@@ -1,0 +1,74 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Every simulated processor owns one, seeded from the
+// machine seed and the processor index, so simulations are reproducible
+// regardless of how many processors run or in which order events fire.
+//
+// We deliberately do not use math/rand: the simulator's contract is
+// bit-identical replay across Go releases, and splitmix64 is a fixed
+// published algorithm.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Derive returns a new independent generator deterministically derived
+// from this one's seed and the given stream index. It does not disturb
+// the receiver's stream.
+func (r *RNG) Derive(stream uint64) *RNG {
+	// Mix the stream index through one splitmix round of a copy.
+	tmp := RNG{state: r.state + 0x9e3779b97f4a7c15*(stream+1)}
+	return &RNG{state: tmp.Uint64()}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Time returns a pseudo-random Time in [0, n). n must be positive.
+func (r *RNG) Time(n Time) Time {
+	if n <= 0 {
+		panic("sim: Time with non-positive n")
+	}
+	return Time(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpTime returns an exponentially distributed Time with the given mean,
+// truncated below at zero. Means of zero or less return zero, which lets
+// callers express "no think time" naturally.
+func (r *RNG) ExpTime(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return Time(-float64(mean) * math.Log(u))
+}

@@ -1,0 +1,64 @@
+// Package repro is the public facade of the QSync reproduction: it
+// re-exports the core mechanism (internal/core) under one import path,
+// so example programs and downstream users write repro.Mutex, the same
+// way the paper's library would have shipped.
+//
+// See DESIGN.md for what is reconstructed and why, EXPERIMENTS.md for
+// the reproduced evaluation, and cmd/syncbench to regenerate it.
+package repro
+
+import "repro/internal/core"
+
+// WaitMode selects how waiters pass the time; see core.WaitMode.
+type WaitMode = core.WaitMode
+
+// Waiter strategies.
+const (
+	// SpinPark spins briefly then parks (futex-style); the default.
+	SpinPark = core.SpinPark
+	// Spin never blocks; for dedicated-CPU phases.
+	Spin = core.Spin
+)
+
+// Mutex is the mechanism's FIFO queue lock. The zero value is unlocked.
+type Mutex = core.Mutex
+
+// RWMutex is the mechanism's fair reader-writer lock.
+type RWMutex = core.RWMutex
+
+// RToken is a reader's handle between RLock and RUnlock.
+type RToken = core.RToken
+
+// Semaphore is the mechanism's FIFO counting semaphore.
+type Semaphore = core.Semaphore
+
+// NewSemaphore returns a semaphore holding n permits.
+func NewSemaphore(n int64) *Semaphore { return core.NewSemaphore(n) }
+
+// Event is an eventcount: await a monotone counter crossing a target.
+type Event = core.Event
+
+// NewEvent returns an eventcount starting at zero.
+func NewEvent() *Event { return core.NewEvent() }
+
+// Sequencer dispenses strictly increasing tickets; pairs with Event.
+type Sequencer = core.Sequencer
+
+// Cond is a Mesa-style condition variable bound to a Mutex.
+type Cond = core.Cond
+
+// NewCond returns a condition variable bound to l.
+func NewCond(l *Mutex) *Cond { return core.NewCond(l) }
+
+// Barrier is the practical central barrier (parks when oversubscribed).
+type Barrier = core.Barrier
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int, mode WaitMode) *Barrier { return core.NewBarrier(n, mode) }
+
+// TreeBarrier is the mechanism's local-spin tree barrier for
+// dedicated-CPU phases; parties call Wait with a fixed id.
+type TreeBarrier = core.TreeBarrier
+
+// NewTreeBarrier returns a tree barrier for n parties.
+func NewTreeBarrier(n int) *TreeBarrier { return core.NewTreeBarrier(n) }

@@ -1,0 +1,116 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// The facade must expose working aliases for the whole core API; these
+// tests exercise each through the public import path.
+
+func TestFacadeMutex(t *testing.T) {
+	var m repro.Mutex
+	var l sync.Locker = &m
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestFacadeModes(t *testing.T) {
+	m := repro.Mutex{Mode: repro.Spin}
+	m.Lock()
+	m.Unlock()
+	m2 := repro.Mutex{Mode: repro.SpinPark}
+	m2.Lock()
+	m2.Unlock()
+}
+
+func TestFacadeRWMutex(t *testing.T) {
+	var rw repro.RWMutex
+	rw.Lock()
+	rw.Unlock()
+	tok := rw.RLock()
+	rw.RUnlock(tok)
+}
+
+func TestFacadeSemaphore(t *testing.T) {
+	s := repro.NewSemaphore(1)
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire with no permits succeeded")
+	}
+	s.Release()
+}
+
+func TestFacadeEventSequencer(t *testing.T) {
+	e := repro.NewEvent()
+	var q repro.Sequencer
+	if q.Ticket() != 1 {
+		t.Fatal("first ticket != 1")
+	}
+	e.Advance()
+	e.Await(1)
+}
+
+func TestFacadeCond(t *testing.T) {
+	var m repro.Mutex
+	c := repro.NewCond(&m)
+	done := make(chan struct{})
+	ok := false
+	go func() {
+		m.Lock()
+		for !ok {
+			c.Wait()
+		}
+		m.Unlock()
+		close(done)
+	}()
+	m.Lock()
+	ok = true
+	c.Broadcast()
+	m.Unlock()
+	<-done
+}
+
+func TestFacadeBarriers(t *testing.T) {
+	b := repro.NewBarrier(2, repro.SpinPark)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := 0; e < 10; e++ {
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+
+	tb := repro.NewTreeBarrier(3)
+	for id := 0; id < 3; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < 10; e++ {
+				tb.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
