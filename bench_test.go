@@ -186,32 +186,31 @@ func BenchmarkF8_NUMABarriers(b *testing.B) {
 	}
 }
 
-// BenchmarkF9 — real-runtime reader-writer lock across read fractions.
+// BenchmarkF9 — real-runtime reader-writer locks across read
+// fractions, swept over the whole rwlock registry.
 func BenchmarkF9_RWMutex(b *testing.B) {
-	for _, frac := range []float64{0.5, 0.9, 1.0} {
-		frac := frac
-		b.Run(fmt.Sprintf("read=%.2f", frac), func(b *testing.B) {
-			var rw repro.RWMutex
-			gor := runtime.GOMAXPROCS(0)
-			if gor > 8 {
-				gor = 8
-			}
-			b.RunParallel(func(pb *testing.PB) {
-				rng := uint64(0x9e3779b97f4a7c15)
-				for pb.Next() {
-					rng ^= rng << 13
-					rng ^= rng >> 7
-					rng ^= rng << 17
-					if float64(rng%1000) < frac*1000 {
-						tok := rw.RLock()
-						rw.RUnlock(tok)
-					} else {
-						rw.Lock()
-						rw.Unlock()
+	for _, info := range locks.RWLocks() {
+		for _, frac := range []float64{0.5, 0.9, 1.0} {
+			info, frac := info, frac
+			b.Run(fmt.Sprintf("%s/read=%.2f", info.Name, frac), func(b *testing.B) {
+				rw := info.New(runtime.GOMAXPROCS(0))
+				b.RunParallel(func(pb *testing.PB) {
+					rng := uint64(0x9e3779b97f4a7c15)
+					for pb.Next() {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						if float64(rng%1000) < frac*1000 {
+							tok := rw.RLock()
+							rw.RUnlock(tok)
+						} else {
+							rw.Lock()
+							rw.Unlock()
+						}
 					}
-				}
+				})
 			})
-		})
+		}
 	}
 }
 
@@ -330,6 +329,81 @@ func BenchmarkF12_Oversubscription(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkF16_Counters — simulated hot-spot counters at scale: the
+// sharded stripe counter against fetch&add and software combining.
+func BenchmarkF16_Counters(b *testing.B) {
+	for _, ci := range simsync.Counters() {
+		for _, p := range []int{16, 64} {
+			ci, p := ci, p
+			b.Run(fmt.Sprintf("%s/P=%d", ci.Name, p), func(b *testing.B) {
+				var cyc, traf float64
+				for i := 0; i < b.N; i++ {
+					res, err := simsync.RunCounter(
+						machine.Config{Procs: p, Model: machine.NUMA, Seed: uint64(i + 1)},
+						ci, simsync.CounterOpts{Incs: 40},
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc, traf = res.CyclesPerInc, res.TrafficPerInc
+				}
+				b.ReportMetric(cyc, "cycles/inc")
+				b.ReportMetric(traf, "traffic/inc")
+			})
+		}
+	}
+}
+
+// BenchmarkCountersReal — real-runtime hot-spot counter: one atomic
+// word vs the sharded stripe counter, all cores incrementing.
+func BenchmarkCountersReal(b *testing.B) {
+	b.Run("central", func(b *testing.B) {
+		c := repro.NewCentralCounter() // one plain atomic word
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+		if c.Load() != int64(b.N) {
+			b.Fatalf("lost updates: %d != %d", c.Load(), b.N)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		c := repro.NewShardedCounter(0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+		if c.Load() != int64(b.N) {
+			b.Fatalf("lost updates: %d != %d", c.Load(), b.N)
+		}
+	})
+}
+
+// BenchmarkShardedRWRead — read-side scalability of the sharded
+// reader-writer lock vs the central queue lock.
+func BenchmarkShardedRWRead(b *testing.B) {
+	b.Run("rw-qsync", func(b *testing.B) {
+		var rw repro.RWMutex
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				tok := rw.RLock()
+				rw.RUnlock(tok)
+			}
+		})
+	})
+	b.Run("rw-sharded", func(b *testing.B) {
+		rw := repro.NewShardedRWMutex(0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				tok := rw.RLock()
+				rw.RUnlock(tok)
+			}
+		})
+	})
 }
 
 // BenchmarkBarriers_Real — real-runtime barrier episode cost.

@@ -8,15 +8,23 @@
 //	syncbench -run F2,F4           # selected tables
 //	syncbench -quick -all          # small sweeps, finishes in seconds
 //	syncbench -all -csv results/   # also write one CSV per table
+//	syncbench -all -algos=tas,qsync  # restrict sweeps to named algorithms
+//	syncbench -shardedjson BENCH_sharded.json  # real-runtime ops/sec snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/registry"
+	"repro/internal/sharded"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "small sweeps (seconds instead of minutes)")
 		csvDir  = flag.String("csv", "", "directory to write one CSV per table")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		algos   = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
+		benchJS = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
 		verbose = flag.Bool("v", false, "print per-sweep-point progress")
 	)
 	flag.Parse()
@@ -39,6 +49,12 @@ func main() {
 		return
 	}
 
+	algoList := registry.SplitList(*algos)
+	if err := harness.ValidateAlgos(algoList); err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		os.Exit(2)
+	}
+
 	var ids []string
 	if *runIDs != "" {
 		for _, id := range strings.Split(*runIDs, ",") {
@@ -47,13 +63,23 @@ func main() {
 			}
 		}
 	}
+	if *benchJS != "" {
+		if err := writeShardedBench(*benchJS, *quick, algoList); err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJS)
+		if len(ids) == 0 && !*all {
+			return
+		}
+	}
 	if len(ids) == 0 && !*all {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -run <ids>, or -list")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -run <ids>, -shardedjson <path>, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir}
+	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -61,4 +87,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
 		os.Exit(1)
 	}
+}
+
+// benchResult is one line of the BENCH_sharded.json trajectory file.
+type benchResult struct {
+	Family    string  `json:"family"`
+	Name      string  `json:"name"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// benchFile is the whole snapshot; future PRs diff these to track the
+// perf trajectory of the sharded layer.
+type benchFile struct {
+	Experiment string        `json:"experiment"`
+	Goroutines int           `json:"goroutines"`
+	Quick      bool          `json:"quick"`
+	Results    []benchResult `json:"results"`
+}
+
+// writeShardedBench measures real-runtime ops/sec for the hot-spot
+// counters (central vs sharded) and the registered reader-writer locks
+// under a read-heavy mix, and writes them as JSON. The -algos selection
+// applies with the same lenient per-family semantics as the sweeps.
+func writeShardedBench(path string, quick bool, algoList []string) error {
+	gor := runtime.GOMAXPROCS(0)
+	iters := 200000
+	rwIters := 20000
+	if quick {
+		iters, rwIters = 20000, 2000
+	}
+	out := benchFile{
+		Experiment: "sharded hot-spot and read-mostly throughput (real runtime)",
+		Goroutines: gor,
+		Quick:      quick,
+	}
+
+	// Names mirror the simulated counter registry (the real central
+	// counter is one fetch&add word), so one -algos list addresses both.
+	allCounters := []struct {
+		name string
+		c    workload.AddLoader
+	}{
+		{"ctr-fa", sharded.NewCentralCounter()},
+		{"ctr-sharded", sharded.NewCounter(0)},
+	}
+	want := make(map[string]bool, len(algoList))
+	for _, n := range algoList {
+		want[n] = true
+	}
+	counters := allCounters[:0:0]
+	for _, tc := range allCounters {
+		if want[tc.name] {
+			counters = append(counters, tc)
+		}
+	}
+	if len(counters) == 0 {
+		counters = allCounters
+	}
+	for _, tc := range counters {
+		res, ok := workload.RunCounterHotspot(tc.c, workload.CounterOpts{
+			Goroutines: gor, Iters: iters,
+		})
+		if !ok {
+			return fmt.Errorf("counter %s lost updates", tc.name)
+		}
+		out.Results = append(out.Results, benchResult{
+			Family: "counter", Name: tc.name, OpsPerSec: res.OpsPerSec,
+		})
+	}
+
+	for _, info := range locks.RWRegistry.Filter(algoList) {
+		res, ok := workload.RunReadMix(info.New(gor), workload.RWOpts{
+			Goroutines: gor, Iters: rwIters, ReadFraction: 0.95, Work: 50,
+		})
+		if !ok {
+			return fmt.Errorf("rwlock %s invariant broken", info.Name)
+		}
+		out.Results = append(out.Results, benchResult{
+			Family: "rwlock", Name: info.Name, OpsPerSec: res.OpsPerSec,
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

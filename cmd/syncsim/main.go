@@ -1,47 +1,54 @@
-// Command syncsim runs a single simulated-lock or simulated-barrier
-// workload and prints its counters — the microscope companion to
-// syncbench's survey. Useful for poking at one algorithm under one
-// configuration, e.g.:
+// Command syncsim runs a single simulated workload and prints its
+// counters — the microscope companion to syncbench's survey. It covers
+// all five simulated algorithm families (locks, barriers, reader-writer
+// locks, semaphores, hot-spot counters) and can compare several
+// algorithms of one family side by side:
 //
-//	syncsim -kind lock -algo qsync -model numa -procs 16 -iters 200
-//	syncsim -kind barrier -algo dissemination -model bus -procs 32
+//	syncsim -kind lock -algos qsync -model numa -procs 16 -iters 200
+//	syncsim -kind lock -algos tas,ticket,qsync -model bus -procs 8
+//	syncsim -kind barrier -algos dissemination -model bus -procs 32
+//	syncsim -kind counter -algos ctr-fa,ctr-sharded -model numa -procs 32
+//	syncsim -kind rw -algos rw-qsync -readfrac 0.9 -procs 16
+//	syncsim -kind sem -algos sem-central,sem-qsync -procs 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/simsync"
 )
 
 func main() {
 	var (
-		kind     = flag.String("kind", "lock", "lock or barrier")
-		algo     = flag.String("algo", "qsync", "algorithm name (see -names)")
+		kind     = flag.String("kind", "lock", "lock, barrier, rw, sem, or counter")
+		algos    = flag.String("algos", "", "comma-separated algorithm names (default per kind: qsync, qsync-tree, rw-qsync, sem-qsync, ctr-sharded; see -names)")
+		algo     = flag.String("algo", "", "single algorithm name (legacy spelling of -algos)")
 		model    = flag.String("model", "bus", "machine model: bus, numa, ideal")
 		procs    = flag.Int("procs", 8, "processors")
-		iters    = flag.Int("iters", 100, "acquisitions per processor (lock)")
+		iters    = flag.Int("iters", 100, "operations per processor (lock, rw)")
 		episodes = flag.Int("episodes", 50, "episodes (barrier)")
+		items    = flag.Int("items", 100, "items through the buffer (sem)")
+		incs     = flag.Int("incs", 100, "increments per processor (counter)")
 		cs       = flag.Int64("cs", 25, "critical-section work, cycles (lock)")
 		think    = flag.Int64("think", 50, "mean think time, cycles")
+		readfrac = flag.Float64("readfrac", 0.9, "read fraction (rw)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		names    = flag.Bool("names", false, "list algorithm names and exit")
 	)
 	flag.Parse()
 
 	if *names {
-		fmt.Print("locks:")
-		for _, li := range simsync.Locks() {
-			fmt.Printf(" %s", li.Name)
-		}
-		fmt.Print("\nbarriers:")
-		for _, bi := range simsync.Barriers() {
-			fmt.Printf(" %s", bi.Name)
-		}
-		fmt.Println()
+		fmt.Printf("locks:     %s\n", strings.Join(simsync.LockSet.Names(), " "))
+		fmt.Printf("barriers:  %s\n", strings.Join(simsync.BarrierSet.Names(), " "))
+		fmt.Printf("rwlocks:   %s\n", strings.Join(simsync.RWLockSet.Names(), " "))
+		fmt.Printf("semaphores: %s\n", strings.Join(simsync.SemaphoreSet.Names(), " "))
+		fmt.Printf("counters:  %s\n", strings.Join(simsync.CounterSet.Names(), " "))
 		return
 	}
 
@@ -58,45 +65,113 @@ func main() {
 	}
 	cfg := machine.Config{Procs: *procs, Model: mdl, Seed: *seed}
 
+	selection := parseAlgos(*algos, *algo)
+
 	switch *kind {
 	case "lock":
-		info, ok := simsync.LockByName(*algo)
-		if !ok {
-			fail("unknown lock %q (try -names)", *algo)
+		for _, info := range selectFrom(simsync.LockSet, selection, "qsync") {
+			res, err := simsync.RunLock(cfg, info, simsync.LockOpts{
+				Iters: *iters, CS: sim.Time(*cs), Think: sim.Time(*think),
+				CheckMutex: true, RecordOrder: true,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("lock=%s model=%s procs=%d iters=%d\n", res.Lock, res.Model, res.Procs, *iters)
+			fmt.Printf("  acquisitions:      %d\n", res.Acquisitions)
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  cycles/acq:        %.1f\n", res.CyclesPerAcq)
+			fmt.Printf("  traffic/acq:       %.2f (%s)\n", res.TrafficPerAcq, trafficName(mdl))
+			fmt.Printf("  FIFO inversions:   %d\n", res.FIFOInversions)
+			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
-		res, err := simsync.RunLock(cfg, info, simsync.LockOpts{
-			Iters: *iters, CS: sim.Time(*cs), Think: sim.Time(*think),
-			CheckMutex: true, RecordOrder: true,
-		})
-		if err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("lock=%s model=%s procs=%d iters=%d\n", res.Lock, res.Model, res.Procs, *iters)
-		fmt.Printf("  acquisitions:      %d\n", res.Acquisitions)
-		fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
-		fmt.Printf("  cycles/acq:        %.1f\n", res.CyclesPerAcq)
-		fmt.Printf("  traffic/acq:       %.2f (%s)\n", res.TrafficPerAcq, trafficName(mdl))
-		fmt.Printf("  FIFO inversions:   %d\n", res.FIFOInversions)
-		fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 	case "barrier":
-		info, ok := simsync.BarrierByName(*algo)
-		if !ok {
-			fail("unknown barrier %q (try -names)", *algo)
+		for _, info := range selectFrom(simsync.BarrierSet, selection, "qsync-tree") {
+			res, err := simsync.RunBarrier(cfg, info, simsync.BarrierOpts{
+				Episodes: *episodes, Work: sim.Time(*think),
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("barrier=%s model=%s procs=%d episodes=%d\n", res.Barrier, res.Model, res.Procs, res.Episodes)
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  cycles/episode:    %.1f\n", res.CyclesPerEpisode)
+			fmt.Printf("  traffic/episode:   %.2f (%s)\n", res.TrafficPerEpisode, trafficName(mdl))
+			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
-		res, err := simsync.RunBarrier(cfg, info, simsync.BarrierOpts{
-			Episodes: *episodes, Work: sim.Time(*think),
-		})
-		if err != nil {
-			fail("%v", err)
+	case "rw":
+		for _, info := range selectFrom(simsync.RWLockSet, selection, "rw-qsync") {
+			res, err := simsync.RunRW(cfg, info, simsync.RWOpts{
+				Iters: *iters, ReadFraction: *readfrac,
+				Work: sim.Time(*cs), Think: sim.Time(*think),
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("rwlock=%s model=%s procs=%d readfrac=%.2f\n", res.Lock, res.Model, res.Procs, *readfrac)
+			fmt.Printf("  reads / writes:    %d / %d\n", res.Reads, res.Writes)
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  cycles/op:         %.1f\n", res.CyclesPerOp)
+			fmt.Printf("  traffic/op:        %.2f (%s)\n", res.TrafficPerOp, trafficName(mdl))
+			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
-		fmt.Printf("barrier=%s model=%s procs=%d episodes=%d\n", res.Barrier, res.Model, res.Procs, res.Episodes)
-		fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
-		fmt.Printf("  cycles/episode:    %.1f\n", res.CyclesPerEpisode)
-		fmt.Printf("  traffic/episode:   %.2f (%s)\n", res.TrafficPerEpisode, trafficName(mdl))
-		fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
+	case "sem":
+		for _, info := range selectFrom(simsync.SemaphoreSet, selection, "sem-qsync") {
+			res, err := simsync.RunProducerConsumer(cfg, info, simsync.PCOpts{
+				Items: *items, Capacity: 4, Work: sim.Time(*cs),
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("semaphore=%s model=%s procs=%d items=%d\n", res.Semaphore, res.Model, res.Procs, res.Items)
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  cycles/item:       %.1f\n", res.CyclesPerItem)
+			fmt.Printf("  traffic/item:      %.2f (%s)\n", res.TrafficPerItem, trafficName(mdl))
+			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
+		}
+	case "counter":
+		for _, info := range selectFrom(simsync.CounterSet, selection, "ctr-sharded") {
+			res, err := simsync.RunCounter(cfg, info, simsync.CounterOpts{
+				Incs: *incs, Think: sim.Time(*think),
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("counter=%s model=%s procs=%d incs=%d\n", res.Counter, res.Model, res.Procs, res.Incs)
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  cycles/inc:        %.1f\n", res.CyclesPerInc)
+			fmt.Printf("  traffic/inc:       %.2f (%s)\n", res.TrafficPerInc, trafficName(mdl))
+			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
+		}
 	default:
-		fail("unknown kind %q", *kind)
+		fail("unknown kind %q (lock, barrier, rw, sem, counter)", *kind)
 	}
+}
+
+// parseAlgos merges the -algos list and the legacy -algo single name.
+func parseAlgos(list, single string) []string {
+	out := registry.SplitList(list)
+	if single = strings.TrimSpace(single); single != "" {
+		out = append(out, single)
+	}
+	return out
+}
+
+// selectFrom resolves the selection against one family's registry,
+// defaulting to the family's mechanism variant when nothing was asked
+// for. Unknown names are fatal — the strict Select path, since an
+// explicit request with a typo should not silently run something else.
+func selectFrom[T any](set interface {
+	Select([]string) ([]T, error)
+}, names []string, deflt string) []T {
+	if len(names) == 0 {
+		names = []string{deflt}
+	}
+	infos, err := set.Select(names)
+	if err != nil {
+		fail("%v (try -names)", err)
+	}
+	return infos
 }
 
 func trafficName(m machine.Model) string {

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // Barrier is an identified-party episode barrier.
@@ -27,26 +28,24 @@ type Info struct {
 	New  func(parties int) Barrier
 }
 
-// All returns the registry in canonical order.
-func All() []Info {
-	return []Info{
-		{Name: "central", New: func(n int) Barrier { return NewCentral(n) }},
-		{Name: "dissemination", New: func(n int) Barrier { return NewDissemination(n) }},
-		{Name: "tournament", New: func(n int) Barrier { return NewTournament(n) }},
-		{Name: "qsync-tree", New: func(n int) Barrier { return &treeAdapter{b: core.NewTreeBarrier(n)} }},
-		{Name: "qsync-park", New: func(n int) Barrier { return &centralAdapter{b: core.NewBarrier(n, core.SpinPark), n: n} }},
-	}
+// Registry is the barrier family's registry.Set, in canonical order.
+var Registry = registry.NewSet[Info]("barriers", func(i Info) string { return i.Name })
+
+func init() {
+	Registry.Register(
+		Info{Name: "central", New: func(n int) Barrier { return NewCentral(n) }},
+		Info{Name: "dissemination", New: func(n int) Barrier { return NewDissemination(n) }},
+		Info{Name: "tournament", New: func(n int) Barrier { return NewTournament(n) }},
+		Info{Name: "qsync-tree", New: func(n int) Barrier { return &treeAdapter{b: core.NewTreeBarrier(n)} }},
+		Info{Name: "qsync-park", New: func(n int) Barrier { return &centralAdapter{b: core.NewBarrier(n, core.SpinPark), n: n} }},
+	)
 }
 
+// All returns the registry in canonical order.
+func All() []Info { return Registry.All() }
+
 // ByName returns the registry entry for name, or false.
-func ByName(name string) (Info, bool) {
-	for _, i := range All() {
-		if i.Name == name {
-			return i, true
-		}
-	}
-	return Info{}, false
-}
+func ByName(name string) (Info, bool) { return Registry.ByName(name) }
 
 type treeAdapter struct {
 	b *core.TreeBarrier

@@ -20,6 +20,11 @@ type Options struct {
 	CSVDir string
 	// Progress, when non-nil, receives one line per sweep point.
 	Progress io.Writer
+	// Algos, when non-empty, restricts registry-driven sweeps to the
+	// named algorithms (the -algos= flag). Applied per family and
+	// leniently: names from other families are ignored, and a family
+	// with no match runs in full.
+	Algos []string
 }
 
 func (o Options) seed() uint64 {
@@ -60,6 +65,7 @@ func Registry() []Experiment {
 		{IDs: []string{"F13"}, Title: "Simulated reader-writer locks vs read fraction", Run: runF13},
 		{IDs: []string{"F14"}, Title: "Simulated semaphores: bounded-buffer producer/consumer", Run: runF14},
 		{IDs: []string{"F15"}, Title: "Hot-spot counter: fetch&add vs software combining", Run: runF15},
+		{IDs: []string{"F16"}, Title: "Hot-spot counter at scale: sharded vs central", Run: runF16},
 		{IDs: []string{"T2"}, Title: "Space cost per lock and per waiter", Run: runT2},
 		{IDs: []string{"T3"}, Title: "Fairness: acquisition spread and FIFO inversions", Run: runT3},
 		{IDs: []string{"A1"}, Title: "Ablation: machine timing-parameter sensitivity", Run: runA1},

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,7 +72,8 @@ func TestLookup(t *testing.T) {
 
 func TestRegistryCoversDesignDoc(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5",
-		"F6", "F7", "F8", "F9", "F10", "F11", "F12"}
+		"F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15",
+		"F16", "A1"}
 	have := map[string]bool{}
 	for _, id := range IDList() {
 		have[id] = true
@@ -80,6 +82,113 @@ func TestRegistryCoversDesignDoc(t *testing.T) {
 		if !have[id] {
 			t.Errorf("experiment %s from DESIGN.md missing from registry", id)
 		}
+	}
+}
+
+// TestTableCSVRoundTrip writes a table through WriteCSV and reads it
+// back through ReadCSV: columns and every cell must survive, including
+// cells containing the CSV metacharacters.
+func TestTableCSVRoundTrip(t *testing.T) {
+	tb := Table{
+		ID:   "RT",
+		Cols: []string{"lock", "cyc/acq", "note"},
+	}
+	tb.AddRow("tas", "12.5", "plain")
+	tb.AddRow("qsync", "9", `comma, quote " and
+newline`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != len(tb.Cols) || len(got.Rows) != len(tb.Rows) {
+		t.Fatalf("shape changed: %dx%d -> %dx%d",
+			len(tb.Rows), len(tb.Cols), len(got.Rows), len(got.Cols))
+	}
+	for i, c := range tb.Cols {
+		if got.Cols[i] != c {
+			t.Errorf("col %d = %q, want %q", i, got.Cols[i], c)
+		}
+	}
+	for r := range tb.Rows {
+		for c := range tb.Rows[r] {
+			if got.Rows[r][c] != tb.Rows[r][c] {
+				t.Errorf("cell (%d,%d) = %q, want %q", r, c, got.Rows[r][c], tb.Rows[r][c])
+			}
+		}
+	}
+	if _, err := ReadCSV(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+// TestF16ShardedBeatsCentral is the acceptance gate for the sharded
+// layer: at 16 simulated processors the striped counter must complete
+// increments in fewer cycles than the central fetch&add hot spot.
+func TestF16ShardedBeatsCentral(t *testing.T) {
+	tables, err := runF16(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	col := func(name string) int {
+		for i, c := range tb.Cols {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from F16 (cols: %v)", name, tb.Cols)
+		return -1
+	}
+	fa, sh := col("ctr-fa cyc/inc"), col("ctr-sharded cyc/inc")
+	checked := false
+	for _, row := range tb.Rows {
+		var p, faCyc, shCyc float64
+		if _, err := fmt.Sscanf(row[0], "%g", &p); err != nil {
+			t.Fatalf("bad P cell %q", row[0])
+		}
+		if p < 16 {
+			continue
+		}
+		if _, err := fmt.Sscanf(row[fa], "%g", &faCyc); err != nil {
+			t.Fatalf("bad fa cell %q", row[fa])
+		}
+		if _, err := fmt.Sscanf(row[sh], "%g", &shCyc); err != nil {
+			t.Fatalf("bad sharded cell %q", row[sh])
+		}
+		checked = true
+		if shCyc >= faCyc {
+			t.Errorf("P=%v: sharded (%.1f cyc/inc) does not beat central fetch&add (%.1f)",
+				p, shCyc, faCyc)
+		}
+	}
+	if !checked {
+		t.Fatal("F16 quick sweep has no row with P >= 16")
+	}
+}
+
+// TestAlgosFilter narrows a registry-driven sweep with Options.Algos
+// and checks that only the requested columns appear — the shared
+// selection path behind the -algos= flag.
+func TestAlgosFilter(t *testing.T) {
+	tables, err := runF6(Options{Quick: true, Seed: 1, Algos: []string{"tas", "qsync"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := tables[0].Cols
+	if len(cols) != 3 || cols[1] != "tas" || cols[2] != "qsync" {
+		t.Fatalf("filtered cols = %v, want [CS cycles tas qsync]", cols)
+	}
+	// A filter naming no lock algorithm must leave the sweep whole.
+	tables, err = runF6(Options{Quick: true, Seed: 1, Algos: []string{"not-a-lock"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Cols) < 4 {
+		t.Fatalf("empty intersection emptied the sweep: cols = %v", tables[0].Cols)
 	}
 }
 

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/locks"
+	"repro/internal/registry"
+	"repro/internal/simsync"
+)
+
+// This file is the backend-agnostic sweep engine shared by every
+// per-family experiment file (sweep_locks.go, sweep_barriers.go,
+// sweep_rw.go, sweep_sem.go, sweep_misc.go): algorithm selection comes
+// from the registry sets (filtered by Options.Algos), the matrix driver
+// below turns (axis point × algorithm × metric) measurements into
+// tables, and Table handles emission. Adding a backend to a registry
+// therefore adds a column to every sweep of its family with no harness
+// changes.
+
+// algosFor applies the -algos selection to one family's registry. The
+// filter is per family and lenient: names that belong to other families
+// are ignored, and a selection that matches nothing in this family
+// leaves the family complete (so `-algos=tas,qsync -all` narrows the
+// lock sweeps without emptying the barrier sweeps).
+func algosFor[A any](o Options, set *registry.Set[A]) []A {
+	return set.Filter(o.Algos)
+}
+
+// ValidateAlgos rejects names that belong to no family the harness
+// sweeps — a name unknown everywhere is certainly a typo, and lenient
+// per-family filtering would otherwise run a full unfiltered sweep.
+func ValidateAlgos(names []string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	known := map[string]bool{}
+	collect := func(ns []string) {
+		for _, n := range ns {
+			known[n] = true
+		}
+	}
+	collect(locks.Registry.Names())
+	collect(locks.RWRegistry.Names())
+	collect(simsync.LockSet.Names())
+	collect(simsync.BarrierSet.Names())
+	collect(simsync.RWLockSet.Names())
+	collect(simsync.SemaphoreSet.Names())
+	collect(simsync.CounterSet.Names())
+	var unknown []string
+	for _, n := range names {
+		if !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	if len(unknown) > 0 {
+		all := make([]string, 0, len(known))
+		for n := range known {
+			all = append(all, n)
+		}
+		sort.Strings(all)
+		return fmt.Errorf("unknown algorithm(s) %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(all, " "))
+	}
+	return nil
+}
+
+// metricSpec names one table a sweep emits.
+type metricSpec struct {
+	ID    string
+	Title string
+	Note  string
+}
+
+// runMatrix is the shared sweep driver: one row per axis value, one
+// column per algorithm, one emitted table per metric. measure returns
+// one value per metric for a single (axis point, algorithm) cell;
+// cells are visited axis-major so progress output reads naturally.
+func runMatrix[A any](algos []A, nameOf func(A) string, axisLabel string,
+	axis []string, metrics []metricSpec,
+	measure func(ai int, algo A) ([]float64, error)) ([]Table, error) {
+
+	tables := make([]Table, len(metrics))
+	for mi, ms := range metrics {
+		cols := []string{axisLabel}
+		for _, a := range algos {
+			cols = append(cols, nameOf(a))
+		}
+		tables[mi] = Table{ID: ms.ID, Title: ms.Title, Note: ms.Note, Cols: cols}
+	}
+	for ai, x := range axis {
+		rows := make([][]string, len(metrics))
+		for mi := range rows {
+			rows[mi] = []string{x}
+		}
+		for _, a := range algos {
+			vals, err := measure(ai, a)
+			if err != nil {
+				return nil, err
+			}
+			for mi := range metrics {
+				rows[mi] = append(rows[mi], Fmt(vals[mi]))
+			}
+		}
+		for mi := range tables {
+			tables[mi].Rows = append(tables[mi].Rows, rows[mi])
+		}
+	}
+	return tables, nil
+}
+
+// intAxis renders an integer axis (processor or goroutine counts) as
+// row labels.
+func intAxis(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = Fmt(float64(x))
+	}
+	return out
+}
+
+// Sweep sizes. Quick mode is for tests and smoke runs; full mode
+// matches the numbers recorded in EXPERIMENTS.md.
+func (o Options) busProcs() []int {
+	if o.Quick {
+		return []int{2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 24, 32}
+}
+
+func (o Options) numaProcs() []int {
+	if o.Quick {
+		return []int{2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 48, 64}
+}
+
+func (o Options) lockIters() int {
+	if o.Quick {
+		return 25
+	}
+	return 80
+}
+
+func (o Options) episodes() int {
+	if o.Quick {
+		return 8
+	}
+	return 25
+}
+
+// Standard simulated lock workload: short critical section, a little
+// think time (the era's "small delay" loop).
+func simLockOpts(iters int) simsync.LockOpts {
+	return simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true}
+}

@@ -1,0 +1,90 @@
+package harness
+
+// Reader-writer sweeps: F9 (real runtime, over the locks.RWRegistry —
+// the mechanism's fair lock, the sharded reader-biased lock, and the
+// standard library) and F13 (simulated, over simsync.RWLockSet).
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/simsync"
+	"repro/internal/workload"
+)
+
+func runF9(o Options) ([]Table, error) {
+	iters := 4000
+	if o.Quick {
+		iters = 400
+	}
+	gor := runtime.GOMAXPROCS(0)
+	if gor > 16 {
+		gor = 16
+	}
+	// The whole rwlock registry, rw-mutex baseline included — so the
+	// baseline is selectable and filterable like any other backend.
+	algos := algosFor(o, locks.RWRegistry)
+
+	fracs := []float64{0, 0.5, 0.9, 0.99, 1}
+	axis := make([]string, len(fracs))
+	for i, f := range fracs {
+		axis[i] = fmt.Sprintf("%.2f", f)
+	}
+	return runMatrix(algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
+		"read fraction", axis,
+		[]metricSpec{{ID: "F9",
+			Title: fmt.Sprintf("Reader-writer throughput vs read fraction (%d goroutines, real runtime)", gor),
+			Note:  "rw locks overtake the plain mutex as the read fraction approaches 1; the sharded lock pulls ahead at high read fractions and pays for it on writes"}},
+		func(ai int, info locks.RWInfo) ([]float64, error) {
+			res, ok := workload.RunReadMix(info.New(gor), workload.RWOpts{
+				Goroutines: gor, Iters: iters, ReadFraction: fracs[ai], Work: 300,
+			})
+			if !ok {
+				return nil, fmt.Errorf("F9: %s invariant broken at fraction %v", info.Name, fracs[ai])
+			}
+			o.progressf("  rw %s frac=%.2f: %.0f ops/s\n", info.Name, fracs[ai], res.OpsPerSec)
+			return []float64{res.OpsPerSec}, nil
+		})
+}
+
+// ---------------------------------------------------------------------
+// F13 — simulated reader-writer locks
+// ---------------------------------------------------------------------
+
+func runF13(o Options) ([]Table, error) {
+	p := 16
+	iters := 60
+	if o.Quick {
+		p, iters = 8, 20
+	}
+	infos := algosFor(o, simsync.RWLockSet)
+	cols := []string{"read fraction"}
+	for _, info := range infos {
+		cols = append(cols, info.Name+" cyc/op", info.Name+" txn/op")
+	}
+	t := Table{
+		ID:    "F13",
+		Title: fmt.Sprintf("Reader-writer locks on the bus machine at P=%d: cycles and transactions per operation", p),
+		Note:  "reader sharing pays off as the read fraction rises; the fair queue variant adds bounded overhead and removes writer starvation",
+		Cols:  cols,
+	}
+	for _, frac := range []float64{0, 0.5, 0.9, 1} {
+		row := []string{fmt.Sprintf("%.2f", frac)}
+		for _, info := range infos {
+			res, err := simsync.RunRW(
+				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+				info,
+				simsync.RWOpts{Iters: iters, ReadFraction: frac, Work: 40, Think: 60},
+			)
+			if err != nil {
+				return nil, err
+			}
+			o.progressf("  rw %s frac=%.2f: %.0f cyc/op\n", info.Name, frac, res.CyclesPerOp)
+			row = append(row, Fmt(res.CyclesPerOp), Fmt(res.TrafficPerOp))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

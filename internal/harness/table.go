@@ -97,3 +97,23 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// ReadCSV parses a table previously written by WriteCSV: the first
+// record becomes Cols, the rest Rows. ID/Title/Note are not stored in
+// CSV form and come back empty; callers tracking results across runs
+// (the perf-trajectory tooling) key tables by file name instead.
+func ReadCSV(r io.Reader) (Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return Table{}, err
+	}
+	if len(records) == 0 {
+		return Table{}, fmt.Errorf("harness: empty CSV table")
+	}
+	t := Table{Cols: records[0]}
+	if len(records) > 1 {
+		t.Rows = records[1:]
+	}
+	return t, nil
+}

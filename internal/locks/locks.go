@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // Lock is the common interface: sync.Locker plus a registry name.
@@ -33,30 +34,29 @@ type Info struct {
 	New func(maxWaiters int) Lock
 }
 
-// All returns the registry in canonical order, ending with the
-// mechanism and the standard library reference point.
-func All() []Info {
-	return []Info{
-		{Name: "tas", New: func(int) Lock { return new(TASLock) }},
-		{Name: "ttas", New: func(int) Lock { return new(TTASLock) }},
-		{Name: "tas-bo", New: func(int) Lock { return NewBackoffLock(4, 4096) }},
-		{Name: "ticket", New: func(int) Lock { return new(TicketLock) }},
-		{Name: "anderson", New: func(n int) Lock { return NewAndersonLock(n) }},
-		{Name: "qsync", New: func(int) Lock { return &QSyncLock{name: "qsync", m: core.Mutex{Mode: core.Spin}} }},
-		{Name: "qsync-park", New: func(int) Lock { return &QSyncLock{name: "qsync-park", m: core.Mutex{Mode: core.SpinPark}} }},
-		{Name: "stdlib", New: func(int) Lock { return new(StdMutex) }},
-	}
+// Registry is the lock family's registry.Set, in canonical order:
+// the era's baselines first, the mechanism, and the standard library
+// reference point last.
+var Registry = registry.NewSet[Info]("locks", func(i Info) string { return i.Name })
+
+func init() {
+	Registry.Register(
+		Info{Name: "tas", New: func(int) Lock { return new(TASLock) }},
+		Info{Name: "ttas", New: func(int) Lock { return new(TTASLock) }},
+		Info{Name: "tas-bo", New: func(int) Lock { return NewBackoffLock(4, 4096) }},
+		Info{Name: "ticket", New: func(int) Lock { return new(TicketLock) }},
+		Info{Name: "anderson", New: func(n int) Lock { return NewAndersonLock(n) }},
+		Info{Name: "qsync", New: func(int) Lock { return &QSyncLock{name: "qsync", m: core.Mutex{Mode: core.Spin}} }},
+		Info{Name: "qsync-park", New: func(int) Lock { return &QSyncLock{name: "qsync-park", m: core.Mutex{Mode: core.SpinPark}} }},
+		Info{Name: "stdlib", New: func(int) Lock { return new(StdMutex) }},
+	)
 }
 
+// All returns the registry in canonical order.
+func All() []Info { return Registry.All() }
+
 // ByName returns the registry entry for name, or false.
-func ByName(name string) (Info, bool) {
-	for _, i := range All() {
-		if i.Name == name {
-			return i, true
-		}
-	}
-	return Info{}, false
-}
+func ByName(name string) (Info, bool) { return Registry.ByName(name) }
 
 // pause burns a few cycles without yielding, approximating a CPU pause
 // instruction; k scales the duration.

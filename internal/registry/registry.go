@@ -1,0 +1,172 @@
+// Package registry is the one generic named-factory registry behind
+// every algorithm family in the repository. The paper's point is that a
+// single queueing cell yields a whole family of synchronization
+// disciplines; this package is the code-level mirror of that claim: a
+// single Set type yields every registry — real-runtime locks, barriers,
+// reader-writer locks and counters, and the simulator's five families —
+// so a new backend is one Register call, and every sweep, CLI flag, and
+// benchmark picks it up without further plumbing.
+//
+// A Set holds entries of an arbitrary payload type T. Per-entry
+// metadata (max-waiters sizing hooks, FIFO/fairness flags, factory
+// functions with family-specific signatures) lives in T itself; the Set
+// only needs to know how to extract the canonical name. Iteration order
+// is registration order and never changes afterwards, so table columns
+// and experiment output are stable across runs.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named-factory registry for one algorithm family. The zero
+// value is not usable; construct with NewSet. Sets are built at init
+// time and read-only afterwards, so they are safe for concurrent reads.
+type Set[T any] struct {
+	family string
+	nameOf func(T) string
+	order  []string
+	byName map[string]T
+}
+
+// NewSet returns an empty registry for the named family. nameOf
+// extracts an entry's canonical name (typically the Name field of the
+// family's Info struct).
+func NewSet[T any](family string, nameOf func(T) string) *Set[T] {
+	if nameOf == nil {
+		panic("registry: NewSet with nil name function")
+	}
+	return &Set[T]{
+		family: family,
+		nameOf: nameOf,
+		byName: make(map[string]T),
+	}
+}
+
+// Family returns the family label given to NewSet.
+func (s *Set[T]) Family() string { return s.family }
+
+// Len returns the number of registered entries.
+func (s *Set[T]) Len() int { return len(s.order) }
+
+// Add registers one entry, returning an error on an empty or duplicate
+// name. Entries keep registration order forever (canonical ordering).
+func (s *Set[T]) Add(item T) error {
+	name := s.nameOf(item)
+	if name == "" {
+		return fmt.Errorf("registry %s: entry with empty name", s.family)
+	}
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("registry %s: duplicate entry %q", s.family, name)
+	}
+	s.byName[name] = item
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Register registers entries in order, panicking on any error. It is
+// the init-time form of Add: a duplicate or unnamed algorithm is a
+// programming error, not a runtime condition.
+func (s *Set[T]) Register(items ...T) {
+	for _, it := range items {
+		if err := s.Add(it); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// All returns every entry in canonical (registration) order. The slice
+// is a copy; callers may reorder or filter it freely.
+func (s *Set[T]) All() []T {
+	out := make([]T, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.byName[name])
+	}
+	return out
+}
+
+// Names returns the canonical name list, in order.
+func (s *Set[T]) Names() []string {
+	return append([]string(nil), s.order...)
+}
+
+// ByName returns the entry registered under name, reporting whether it
+// exists.
+func (s *Set[T]) ByName(name string) (T, bool) {
+	item, ok := s.byName[name]
+	return item, ok
+}
+
+// Select resolves an explicit selection: every requested name must
+// exist, and entries come back in canonical order regardless of request
+// order. An empty request selects the whole family. This is the strict
+// form used by CLI -algos flags, where a typo should fail loudly.
+func (s *Set[T]) Select(names []string) ([]T, error) {
+	if len(names) == 0 {
+		return s.All(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := s.byName[n]; !ok {
+			known := s.Names()
+			sort.Strings(known)
+			return nil, fmt.Errorf("registry %s: unknown algorithm %q (known: %s)",
+				s.family, n, strings.Join(known, " "))
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return s.All(), nil
+	}
+	var out []T
+	for _, name := range s.order {
+		if want[name] {
+			out = append(out, s.byName[name])
+		}
+	}
+	return out, nil
+}
+
+// SplitList parses a comma-separated -algos flag value into names,
+// trimming whitespace and dropping empties — the one spelling of the
+// flag syntax shared by every CLI.
+func SplitList(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Filter returns the entries whose names appear in names, in canonical
+// order. Unknown names are ignored, and an empty intersection (or empty
+// names) returns the whole family. This is the lenient form used when
+// one -algos list is applied across several families at once: a lock
+// name should not break the barrier sweep.
+func (s *Set[T]) Filter(names []string) []T {
+	if len(names) == 0 {
+		return s.All()
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []T
+	for _, name := range s.order {
+		if want[name] {
+			out = append(out, s.byName[name])
+		}
+	}
+	if len(out) == 0 {
+		return s.All()
+	}
+	return out
+}

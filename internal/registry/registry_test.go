@@ -1,0 +1,127 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeInfo struct {
+	Name string
+	Max  int // stand-in for per-entry metadata (max-waiters sizing)
+}
+
+func newFakeSet(t *testing.T, names ...string) *Set[fakeInfo] {
+	t.Helper()
+	s := NewSet[fakeInfo]("fake", func(i fakeInfo) string { return i.Name })
+	for n, name := range names {
+		s.Register(fakeInfo{Name: name, Max: n})
+	}
+	return s
+}
+
+func TestOrderingStability(t *testing.T) {
+	// Registration order is canonical and survives repeated reads.
+	s := newFakeSet(t, "zeta", "alpha", "mid")
+	want := []string{"zeta", "alpha", "mid"}
+	for round := 0; round < 3; round++ {
+		names := s.Names()
+		if len(names) != len(want) {
+			t.Fatalf("round %d: %d names, want %d", round, len(names), len(want))
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("round %d: names[%d] = %q, want %q", round, i, names[i], want[i])
+			}
+			if s.All()[i].Name != want[i] {
+				t.Fatalf("round %d: All()[%d] = %q, want %q", round, i, s.All()[i].Name, want[i])
+			}
+		}
+	}
+	// Mutating the returned slices must not corrupt the set.
+	s.All()[0] = fakeInfo{Name: "clobbered"}
+	s.Names()[0] = "clobbered"
+	if s.All()[0].Name != "zeta" || s.Names()[0] != "zeta" {
+		t.Fatal("returned slices alias internal state")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s := newFakeSet(t, "a", "b")
+	got, ok := s.ByName("b")
+	if !ok || got.Name != "b" || got.Max != 1 {
+		t.Fatalf("ByName(b) = %+v, %v", got, ok)
+	}
+	if _, ok := s.ByName("nope"); ok {
+		t.Fatal("ByName miss reported a hit")
+	}
+	if _, ok := s.ByName(""); ok {
+		t.Fatal("ByName empty reported a hit")
+	}
+}
+
+func TestDuplicateRejection(t *testing.T) {
+	s := newFakeSet(t, "a")
+	if err := s.Add(fakeInfo{Name: "a"}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := s.Add(fakeInfo{Name: ""}); err == nil {
+		t.Fatal("empty-name Add accepted")
+	}
+	// Register must panic on the same conditions.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate Register did not panic")
+			}
+		}()
+		s.Register(fakeInfo{Name: "a"})
+	}()
+	if s.Len() != 1 {
+		t.Fatalf("failed registrations changed the set: len=%d", s.Len())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := newFakeSet(t, "x", "y", "z")
+	// Empty selection is the whole family.
+	all, err := s.Select(nil)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Select(nil) = %d entries, err %v", len(all), err)
+	}
+	// Explicit selection comes back in canonical order, not request order.
+	got, err := s.Select([]string{"z", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "x" || got[1].Name != "z" {
+		t.Fatalf("Select order wrong: %+v", got)
+	}
+	// Unknown names fail loudly and mention the family.
+	if _, err := s.Select([]string{"x", "typo"}); err == nil {
+		t.Fatal("Select with unknown name accepted")
+	} else if !strings.Contains(err.Error(), "typo") || !strings.Contains(err.Error(), "fake") {
+		t.Fatalf("unhelpful Select error: %v", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := newFakeSet(t, "x", "y", "z")
+	if got := s.Filter(nil); len(got) != 3 {
+		t.Fatalf("Filter(nil) = %d entries", len(got))
+	}
+	got := s.Filter([]string{"z", "unknown-from-other-family", "x"})
+	if len(got) != 2 || got[0].Name != "x" || got[1].Name != "z" {
+		t.Fatalf("Filter = %+v", got)
+	}
+	// A filter that matches nothing in this family keeps the family whole.
+	if got := s.Filter([]string{"only-locks"}); len(got) != 3 {
+		t.Fatalf("empty intersection should fall back to All, got %d", len(got))
+	}
+}
+
+func TestFamilyAndLen(t *testing.T) {
+	s := newFakeSet(t, "a", "b")
+	if s.Family() != "fake" || s.Len() != 2 {
+		t.Fatalf("Family=%q Len=%d", s.Family(), s.Len())
+	}
+}

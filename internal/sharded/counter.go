@@ -1,0 +1,107 @@
+// Package sharded holds the scalability layer grown on top of the
+// reconstructed mechanism: primitives that trade a little read-side or
+// write-side work for hot paths that scale with the core count instead
+// of colliding on one cache line. The simulator twin lives in
+// internal/simsync (ctr-sharded); this package is the real-runtime
+// version the library actually ships.
+package sharded
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripe is one cache-line-padded counter cell.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a striped (per-CPU-style) counter: each increment is one
+// fetch&add on one of GOMAXPROCS-rounded-up-to-a-power-of-two stripes
+// chosen by a cheap goroutine-affine hash, so concurrent writers almost
+// never share a cache line, and reads fall back to combining the
+// stripes. Use it where the write rate is high and reads are occasional
+// (metrics, admission counts, progress tracking); a central atomic is
+// better when every caller needs the exact running total.
+//
+// The zero value is not ready; use NewCounter.
+type Counter struct {
+	stripes []stripe
+	mask    uint64
+}
+
+// NewCounter returns a striped counter with at least stripes cells
+// (rounded up to a power of two). stripes <= 0 sizes to GOMAXPROCS.
+func NewCounter(stripes int) *Counter {
+	if stripes <= 0 {
+		stripes = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Counter{stripes: make([]stripe, n), mask: uint64(n - 1)}
+}
+
+// stripeHint derives a goroutine-affine stripe hint: the address of a
+// stack variable differs per goroutine (and stays stable while the
+// stack doesn't move), so hashing it spreads concurrent goroutines
+// across stripes without runtime hooks or thread-local storage.
+func stripeHint() uint64 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	// splitmix64-style finalizer: stack addresses share high bits, so
+	// mix them down hard before masking.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add adds d to the counter: one wait-free fetch&add on the caller's
+// home stripe. A fetch&add cannot fail, so there is no retry loop to
+// spill contention onto other goroutines' stripes; the combining
+// happens on the read side, where Load folds the stripes together.
+func (c *Counter) Add(d int64) {
+	c.stripes[stripeHint()&c.mask].v.Add(d)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load combines the stripes into the current total. Concurrent with
+// writers it is a linearizable-enough snapshot for statistics: every
+// Add completed before Load began is included.
+func (c *Counter) Load() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Stripes reports the stripe count (for sizing tables and tests).
+func (c *Counter) Stripes() int { return len(c.stripes) }
+
+// CentralCounter is the baseline the striped counter is measured
+// against: one atomic word, every increment an interconnect
+// transaction on the same cache line.
+type CentralCounter struct {
+	v atomic.Int64
+}
+
+// NewCentralCounter returns a zeroed central counter.
+func NewCentralCounter() *CentralCounter { return &CentralCounter{} }
+
+// Add adds d.
+func (c *CentralCounter) Add(d int64) { c.v.Add(d) }
+
+// Inc adds one.
+func (c *CentralCounter) Inc() { c.v.Add(1) }
+
+// Load returns the current total.
+func (c *CentralCounter) Load() int64 { return c.v.Load() }

@@ -1,0 +1,85 @@
+package sharded
+
+import (
+	"runtime"
+	"unsafe"
+
+	"repro/internal/core"
+)
+
+// paddedRW keeps each shard's queue tail on its own cache line.
+type paddedRW struct {
+	mu core.RWMutex
+	_  [64 - unsafe.Sizeof(core.RWMutex{})%64]byte
+}
+
+// Compile-time guard: a shard must occupy whole cache lines, or
+// adjacent shards false-share and the sharding buys nothing.
+const _ = -(unsafe.Sizeof(paddedRW{}) % 64)
+
+// RWMutex is the reader-biased sharded reader-writer lock: an array of
+// the mechanism's core.RWMutex queues (so every shard inherits the
+// paper's local-spin node queue). A reader takes exactly one shard —
+// chosen by the same goroutine-affine hash as the striped counter — so
+// read acquisitions from different cores touch different cache lines
+// and scale near-linearly. A writer sweeps all shards in index order,
+// paying O(shards); the bias is deliberate and is the standard
+// big-reader ("brlock") trade for read-mostly data.
+//
+// Within each shard the underlying queue is FIFO-fair, so a writer
+// cannot be starved indefinitely by readers on any shard: it enqueues
+// behind the current batch like any other waiter.
+type RWMutex struct {
+	shards []paddedRW
+	mask   uint64
+}
+
+// RToken records which shard a reader holds and the shard's own token.
+type RToken struct {
+	shard int
+	tok   *core.RToken
+}
+
+// NewRWMutex returns a sharded reader-writer lock with at least shards
+// shards (rounded up to a power of two). shards <= 0 sizes to
+// GOMAXPROCS.
+func NewRWMutex(shards int) *RWMutex {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &RWMutex{shards: make([]paddedRW, n), mask: uint64(n - 1)}
+}
+
+// Shards reports the shard count.
+func (rw *RWMutex) Shards() int { return len(rw.shards) }
+
+// RLock acquires read access on the caller's home shard and returns
+// the token to release it with.
+func (rw *RWMutex) RLock() RToken {
+	i := int(stripeHint() & rw.mask)
+	return RToken{shard: i, tok: rw.shards[i].mu.RLock()}
+}
+
+// RUnlock releases a read acquisition made with RLock.
+func (rw *RWMutex) RUnlock(t RToken) {
+	rw.shards[t.shard].mu.RUnlock(t.tok)
+}
+
+// Lock acquires write access by locking every shard in index order
+// (total order prevents writer-writer deadlock).
+func (rw *RWMutex) Lock() {
+	for i := range rw.shards {
+		rw.shards[i].mu.Lock()
+	}
+}
+
+// Unlock releases write access shard by shard.
+func (rw *RWMutex) Unlock() {
+	for i := range rw.shards {
+		rw.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,132 @@
+package sharded
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterSequential(t *testing.T) {
+	c := NewCounter(4)
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(500)
+	c.Add(-250)
+	if got := c.Load(); got != 1250 {
+		t.Fatalf("Load = %d, want 1250", got)
+	}
+}
+
+func TestCounterStripeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}} {
+		if got := NewCounter(tc.in).Stripes(); got != tc.want {
+			t.Errorf("NewCounter(%d).Stripes() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if NewCounter(0).Stripes() < 1 {
+		t.Fatal("default sizing produced no stripes")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(0)
+	const goroutines, iters = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*iters {
+		t.Fatalf("lost updates: Load = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestCentralCounter(t *testing.T) {
+	c := NewCentralCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load = %d, want 8000", got)
+	}
+}
+
+func TestRWMutexExclusion(t *testing.T) {
+	rw := NewRWMutex(4)
+	gor := runtime.GOMAXPROCS(0)
+	if gor < 4 {
+		gor = 4
+	}
+	x, y := 0, 0
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(g)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < 2000; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if rng%10 < 8 {
+					tok := rw.RLock()
+					if x != y {
+						violations.Add(1)
+					}
+					rw.RUnlock(tok)
+				} else {
+					rw.Lock()
+					x++
+					y++
+					rw.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("readers saw writer-torn state %d times", v)
+	}
+	if x != y {
+		t.Fatalf("writer invariant broken: x=%d y=%d", x, y)
+	}
+}
+
+func TestRWMutexWriterExcludesWriters(t *testing.T) {
+	rw := NewRWMutex(8)
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				rw.Lock()
+				counter++
+				rw.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*500 {
+		t.Fatalf("writer exclusion broken: counter = %d, want %d", counter, 8*500)
+	}
+}

@@ -20,27 +20,6 @@ type BarrierInfo struct {
 	Make BarrierMaker
 }
 
-// Barriers returns the barrier registry in canonical order.
-func Barriers() []BarrierInfo {
-	return []BarrierInfo{
-		{Name: "central", Make: NewCentralBarrier},
-		{Name: "combining", Make: NewCombiningBarrier},
-		{Name: "dissemination", Make: NewDisseminationBarrier},
-		{Name: "tournament", Make: NewTournamentBarrier},
-		{Name: "qsync-tree", Make: NewQSyncTreeBarrier},
-	}
-}
-
-// BarrierByName returns the registry entry for name, or false.
-func BarrierByName(name string) (BarrierInfo, bool) {
-	for _, bi := range Barriers() {
-		if bi.Name == name {
-			return bi, true
-		}
-	}
-	return BarrierInfo{}, false
-}
-
 // ---------------------------------------------------------------------
 // central sense-reversing barrier
 // ---------------------------------------------------------------------

@@ -26,25 +26,6 @@ type CounterInfo struct {
 	Make CounterMaker
 }
 
-// Counters returns the registry: the plain fetch&add hot spot and the
-// software combining tree (Yew/Tzeng/Lawrie style) that spreads it.
-func Counters() []CounterInfo {
-	return []CounterInfo{
-		{Name: "ctr-fa", Make: NewFetchAddCounter},
-		{Name: "ctr-combine", Make: NewCombiningCounter},
-	}
-}
-
-// CounterByName returns the registry entry for name, or false.
-func CounterByName(name string) (CounterInfo, bool) {
-	for _, i := range Counters() {
-		if i.Name == name {
-			return i, true
-		}
-	}
-	return CounterInfo{}, false
-}
-
 // faCounter is the baseline: every increment is a fetch&add on one
 // word. On a bus each is an invalidating transaction; on NUMA every
 // increment queues at the word's home module — the textbook hot spot.
@@ -228,6 +209,15 @@ func RunCounter(cfg machine.Config, info CounterInfo, opts CounterOpts) (Counter
 	want := uint64(cfg.Procs) * uint64(opts.Incs)
 	if total != want {
 		return CounterResult{}, fmt.Errorf("counter %q: %d increments, want %d", info.Name, total, want)
+	}
+	// Counters whose value is distributed (the sharded counter) expose a
+	// combine-on-read path; validate it against the host-side count.
+	if tr, ok := ctr.(interface {
+		ReadTotal(*machine.Machine) machine.Word
+	}); ok {
+		if got := tr.ReadTotal(m); uint64(got) != total {
+			return CounterResult{}, fmt.Errorf("counter %q combined total %d, want %d", info.Name, got, total)
+		}
 	}
 
 	st := m.Stats()

@@ -35,31 +35,6 @@ type LockInfo struct {
 	FIFO bool // whether the algorithm guarantees FIFO granting
 }
 
-// Locks returns the full algorithm registry in canonical order: the
-// era's baselines first, the reconstructed mechanism last.
-func Locks() []LockInfo {
-	return []LockInfo{
-		{Name: "tas", Make: NewTAS, FIFO: false},
-		{Name: "ttas", Make: NewTTAS, FIFO: false},
-		{Name: "tas-bo", Make: NewTASBackoff, FIFO: false},
-		{Name: "ticket", Make: NewTicket, FIFO: true},
-		{Name: "ticket-bo", Make: NewTicketBackoff, FIFO: true},
-		{Name: "anderson", Make: NewAnderson, FIFO: true},
-		{Name: "gt", Make: NewGraunkeThakkar, FIFO: true},
-		{Name: "qsync", Make: NewQSync, FIFO: true},
-	}
-}
-
-// LockByName returns the registry entry for name, or false.
-func LockByName(name string) (LockInfo, bool) {
-	for _, li := range Locks() {
-		if li.Name == name {
-			return li, true
-		}
-	}
-	return LockInfo{}, false
-}
-
 // ---------------------------------------------------------------------
 // test&set
 // ---------------------------------------------------------------------

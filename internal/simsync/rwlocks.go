@@ -26,25 +26,6 @@ type RWLockInfo struct {
 	Fair bool // FIFO between classes (no writer starvation)
 }
 
-// RWLocks returns the reader-writer registry: the era's naive
-// counter-based lock and the mechanism's fair queue-based lock.
-func RWLocks() []RWLockInfo {
-	return []RWLockInfo{
-		{Name: "rw-ctr", Make: NewCounterRW, Fair: false},
-		{Name: "rw-qsync", Make: NewQSyncRW, Fair: true},
-	}
-}
-
-// RWLockByName returns the registry entry for name, or false.
-func RWLockByName(name string) (RWLockInfo, bool) {
-	for _, i := range RWLocks() {
-		if i.Name == name {
-			return i, true
-		}
-	}
-	return RWLockInfo{}, false
-}
-
 // ---------------------------------------------------------------------
 // counter-based reader-writer lock (the naive era baseline)
 // ---------------------------------------------------------------------

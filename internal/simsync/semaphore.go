@@ -23,25 +23,6 @@ type SemaphoreInfo struct {
 	Make SemaphoreMaker
 }
 
-// Semaphores returns the registry: the era's central spin semaphore and
-// the mechanism's queueing semaphore.
-func Semaphores() []SemaphoreInfo {
-	return []SemaphoreInfo{
-		{Name: "sem-central", Make: NewCentralSemaphore},
-		{Name: "sem-qsync", Make: NewQSyncSemaphore},
-	}
-}
-
-// SemaphoreByName returns the registry entry for name, or false.
-func SemaphoreByName(name string) (SemaphoreInfo, bool) {
-	for _, i := range Semaphores() {
-		if i.Name == name {
-			return i, true
-		}
-	}
-	return SemaphoreInfo{}, false
-}
-
 // ---------------------------------------------------------------------
 // central spinning semaphore (baseline)
 // ---------------------------------------------------------------------

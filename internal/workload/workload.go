@@ -97,10 +97,11 @@ type RWOpts struct {
 	Work         int     // spin units inside each section
 }
 
-// RunReadMix drives core.RWMutex with the given read fraction and
-// verifies the invariant that writers keep two variables equal. The
-// boolean result is false if a reader ever saw the invariant broken.
-func RunReadMix(rw *core.RWMutex, o RWOpts) (RWResult, bool) {
+// RunReadMix drives any registered reader-writer lock with the given
+// read fraction and verifies the invariant that writers keep two
+// variables equal. The boolean result is false if a reader ever saw the
+// invariant broken.
+func RunReadMix(rw locks.RWLock, o RWOpts) (RWResult, bool) {
 	x, y := 0, 0
 	var bad atomic.Int32
 	var reads, writes atomic.Int64
@@ -201,6 +202,56 @@ func RunBarrierPhases(b barriers.Barrier, o BarrierOpts) (BarrierResult, bool) {
 		Elapsed:   elapsed,
 		NsPerWait: float64(elapsed.Nanoseconds()) / float64(o.Phases),
 	}, bad.Load() == 0
+}
+
+// CounterResult reports a hot-spot counter run.
+type CounterResult struct {
+	Goroutines int
+	Total      int64
+	Elapsed    time.Duration
+	OpsPerSec  float64
+}
+
+// CounterOpts configures RunCounterHotspot.
+type CounterOpts struct {
+	Goroutines int
+	Iters      int // increments per goroutine
+	ThinkWork  int // spin units between increments
+}
+
+// AddLoader is the real-runtime counter surface the hot-spot workload
+// drives (both sharded.Counter and sharded.CentralCounter satisfy it).
+type AddLoader interface {
+	Inc()
+	Load() int64
+}
+
+// RunCounterHotspot hammers a counter from many goroutines and reports
+// increment throughput. The boolean result verifies no update was lost.
+func RunCounterHotspot(c AddLoader, o CounterOpts) (CounterResult, bool) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < o.Goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < o.Iters; i++ {
+				c.Inc()
+				if o.ThinkWork > 0 {
+					spin(o.ThinkWork)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := int64(o.Goroutines) * int64(o.Iters)
+	return CounterResult{
+		Goroutines: o.Goroutines,
+		Total:      total,
+		Elapsed:    elapsed,
+		OpsPerSec:  float64(total) / elapsed.Seconds(),
+	}, c.Load() == total
 }
 
 // PipelineResult reports a bounded-buffer pipeline run.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/barriers"
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/sharded"
 )
 
 func TestRunCriticalSections(t *testing.T) {
@@ -40,25 +41,52 @@ func TestRunCriticalSectionsAllLocks(t *testing.T) {
 }
 
 func TestRunReadMix(t *testing.T) {
-	for _, frac := range []float64{0, 0.5, 0.9, 1} {
-		var rw core.RWMutex
-		res, ok := RunReadMix(&rw, RWOpts{
-			Goroutines: 6, Iters: 400, ReadFraction: frac, Work: 3,
+	for _, info := range locks.RWLocks() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, frac := range []float64{0, 0.5, 0.9, 1} {
+				res, ok := RunReadMix(info.New(6), RWOpts{
+					Goroutines: 6, Iters: 400, ReadFraction: frac, Work: 3,
+				})
+				if !ok {
+					t.Fatalf("read fraction %v: invariant broken", frac)
+				}
+				if res.Reads+res.Writes != 6*400 {
+					t.Fatalf("ops lost: %d + %d", res.Reads, res.Writes)
+				}
+				// The mix should track the requested fraction loosely.
+				got := float64(res.Reads) / float64(res.Reads+res.Writes)
+				if frac == 0 && got != 0 {
+					t.Fatalf("frac 0 produced reads")
+				}
+				if frac == 1 && got != 1 {
+					t.Fatalf("frac 1 produced writes")
+				}
+			}
 		})
-		if !ok {
-			t.Fatalf("read fraction %v: invariant broken", frac)
-		}
-		if res.Reads+res.Writes != 6*400 {
-			t.Fatalf("ops lost: %d + %d", res.Reads, res.Writes)
-		}
-		// The mix should track the requested fraction loosely.
-		got := float64(res.Reads) / float64(res.Reads+res.Writes)
-		if frac == 0 && got != 0 {
-			t.Fatalf("frac 0 produced reads")
-		}
-		if frac == 1 && got != 1 {
-			t.Fatalf("frac 1 produced writes")
-		}
+	}
+}
+
+func TestRunCounterHotspot(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    AddLoader
+	}{
+		{"central", sharded.NewCentralCounter()},
+		{"sharded", sharded.NewCounter(0)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, ok := RunCounterHotspot(tc.c, CounterOpts{Goroutines: 8, Iters: 2000})
+			if !ok {
+				t.Fatalf("%s lost updates", tc.name)
+			}
+			if res.Total != 8*2000 || res.OpsPerSec <= 0 {
+				t.Fatalf("bad result: %+v", res)
+			}
+		})
 	}
 }
 

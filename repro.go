@@ -7,7 +7,10 @@
 // the reproduced evaluation, and cmd/syncbench to regenerate it.
 package repro
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
 
 // WaitMode selects how waiters pass the time; see core.WaitMode.
 type WaitMode = core.WaitMode
@@ -62,3 +65,29 @@ type TreeBarrier = core.TreeBarrier
 
 // NewTreeBarrier returns a tree barrier for n parties.
 func NewTreeBarrier(n int) *TreeBarrier { return core.NewTreeBarrier(n) }
+
+// ShardedCounter is the scalability layer's striped counter: high-rate
+// concurrent increments with occasional combined reads.
+type ShardedCounter = sharded.Counter
+
+// NewShardedCounter returns a striped counter with at least stripes
+// cells; stripes <= 0 sizes to GOMAXPROCS.
+func NewShardedCounter(stripes int) *ShardedCounter { return sharded.NewCounter(stripes) }
+
+// CentralCounter is the one-word atomic counter the sharded counter is
+// measured against.
+type CentralCounter = sharded.CentralCounter
+
+// NewCentralCounter returns a zeroed central counter.
+func NewCentralCounter() *CentralCounter { return sharded.NewCentralCounter() }
+
+// ShardedRWMutex is the reader-biased sharded reader-writer lock:
+// readers take one shard, writers sweep them all.
+type ShardedRWMutex = sharded.RWMutex
+
+// ShardedRToken is a sharded reader's handle between RLock and RUnlock.
+type ShardedRToken = sharded.RToken
+
+// NewShardedRWMutex returns a sharded reader-writer lock with at least
+// shards shards; shards <= 0 sizes to GOMAXPROCS.
+func NewShardedRWMutex(shards int) *ShardedRWMutex { return sharded.NewRWMutex(shards) }
