@@ -68,6 +68,61 @@ func simBarrierBench(b *testing.B, model machine.Model, barName string, procs in
 	b.ReportMetric(traf, "traffic/episode")
 }
 
+// BenchmarkEngineStep — raw event-engine throughput: schedule+pop one
+// typed event per iteration against a standing population, the
+// steady-state pattern of a running simulation. The allocation report
+// is the point: the hot path must not allocate.
+func BenchmarkEngineStep(b *testing.B) {
+	e := sim.NewEngine()
+	e.SetHandler(func(sim.EventKind, int32, int32) {})
+	const standing = 1024
+	for i := 0; i < standing; i++ {
+		e.AtEvent(sim.Time(i), sim.EvDispatch, 0, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AtEvent(e.Now()+standing, sim.EvDispatch, 0, 0)
+		e.Step()
+	}
+}
+
+// BenchmarkMachineSpinContended — host-side throughput of the machine
+// hot path under heavy spin contention: 8 processors fighting over one
+// lock on the bus machine, across the classic spin disciplines (raw
+// test&set storm, test-and-test&set cache spin, exponential backoff).
+// Reported simops/s is simulated memory operations per host second —
+// the number that bounds sweep wall-clock. The machine is sized to the
+// workload so the measurement is the hot path, not construction.
+func BenchmarkMachineSpinContended(b *testing.B) {
+	for _, name := range []string{"tas", "ttas", "tas-bo"} {
+		info, ok := simsync.LockByName(name)
+		if !ok {
+			b.Fatalf("unknown lock %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ops, acqs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := simsync.RunLock(
+					machine.Config{Procs: 8, Model: machine.Bus, Seed: uint64(i + 1),
+						SharedWords: 1 << 12, LocalWords: 1 << 8},
+					info,
+					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := res.Stats
+				ops += st.Loads + st.Stores + st.RMWs
+				acqs += res.Acquisitions
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+		})
+	}
+}
+
 // BenchmarkT1 — uncontended latency, simulated bus machine.
 func BenchmarkT1_Uncontended(b *testing.B) {
 	for _, li := range simsync.Locks() {

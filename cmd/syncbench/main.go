@@ -18,16 +18,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/locks"
+	"repro/internal/machine"
 	"repro/internal/registry"
 	"repro/internal/sharded"
+	"repro/internal/simsync"
 	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the -cpuprofile/-memprofile defers
+// flush on every exit path, including errors.
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list experiments and exit")
 		runIDs  = flag.String("run", "", "comma-separated table ids to regenerate (e.g. F2,T3)")
@@ -37,22 +47,53 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		algos   = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
 		benchJS = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
+		simJS   = flag.String("simjson", "", "write a machine-readable simulator-throughput snapshot (e.g. BENCH_sim.json)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose = flag.Bool("v", false, "print per-sweep-point progress")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "syncbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "syncbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("experiments (table ids -> title):")
 		for _, e := range harness.Registry() {
 			fmt.Printf("  %-12s %s\n", strings.Join(e.IDs, "+"), e.Title)
 		}
-		return
+		return 0
 	}
 
 	algoList := registry.SplitList(*algos)
 	if err := harness.ValidateAlgos(algoList); err != nil {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	var ids []string
@@ -66,17 +107,24 @@ func main() {
 	if *benchJS != "" {
 		if err := writeShardedBench(*benchJS, *quick, algoList); err != nil {
 			fmt.Fprintln(os.Stderr, "syncbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *benchJS)
-		if len(ids) == 0 && !*all {
-			return
+	}
+	if *simJS != "" {
+		if err := writeSimBench(*simJS, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench:", err)
+			return 1
 		}
+		fmt.Printf("wrote %s\n", *simJS)
 	}
 	if len(ids) == 0 && !*all {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -run <ids>, -shardedjson <path>, or -list")
+		if *benchJS != "" || *simJS != "" {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -run <ids>, -shardedjson <path>, -simjson <path>, or -list")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList}
@@ -85,8 +133,95 @@ func main() {
 	}
 	if err := harness.RunIDs(ids, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// simBenchResult is one line of the BENCH_sim.json trajectory file:
+// host-side throughput of the simulator on one fixed contended workload.
+type simBenchResult struct {
+	Workload      string  `json:"workload"`
+	Model         string  `json:"model"`
+	Procs         int     `json:"procs"`
+	SimOpsPerSec  float64 `json:"sim_ops_per_sec"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	InlineOpsFrac float64 `json:"inline_ops_frac"` // fraction of ops retired on the fast path
+}
+
+// simBenchFile is the whole simulator-throughput snapshot; future PRs
+// diff these to track the host-efficiency trajectory of the event
+// engine and machine hot path.
+type simBenchFile struct {
+	Experiment string           `json:"experiment"`
+	Quick      bool             `json:"quick"`
+	Results    []simBenchResult `json:"results"`
+}
+
+// writeSimBench measures host-side simulator throughput — simulated
+// memory operations and engine events per host second — over a fixed
+// battery of contended workloads, and writes the snapshot as JSON. The
+// simulated results of these runs are deterministic; only the host
+// throughput varies between machines.
+func writeSimBench(path string, quick bool) error {
+	iters := 200
+	reps := 20
+	if quick {
+		iters, reps = 40, 3
+	}
+	out := simBenchFile{
+		Experiment: "simulator hot-path throughput (host ops/sec, contended workloads)",
+		Quick:      quick,
+	}
+	battery := []struct {
+		lock  string
+		model machine.Model
+		procs int
+	}{
+		{"tas", machine.Bus, 8},
+		{"ttas", machine.Bus, 8},
+		{"tas-bo", machine.Bus, 8},
+		{"qsync", machine.Bus, 8},
+		{"qsync", machine.NUMA, 16},
+	}
+	for _, bc := range battery {
+		info, ok := simsync.LockByName(bc.lock)
+		if !ok {
+			return fmt.Errorf("simjson: unknown lock %q", bc.lock)
+		}
+		var ops, events, inline uint64
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			res, err := simsync.RunLock(
+				machine.Config{Procs: bc.procs, Model: bc.model, Seed: uint64(r + 1),
+					SharedWords: 1 << 12, LocalWords: 1 << 8},
+				info,
+				simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true},
+			)
+			if err != nil {
+				return fmt.Errorf("simjson: %s: %w", bc.lock, err)
+			}
+			st := res.Stats
+			ops += st.Loads + st.Stores + st.RMWs
+			events += st.Events
+			inline += st.InlineOps
+		}
+		el := time.Since(start).Seconds()
+		res := simBenchResult{
+			Workload: "lock/" + bc.lock, Model: bc.model.String(), Procs: bc.procs,
+			SimOpsPerSec: float64(ops) / el,
+			EventsPerSec: float64(events) / el,
+		}
+		if ops > 0 {
+			res.InlineOpsFrac = float64(inline) / float64(ops)
+		}
+		out.Results = append(out.Results, res)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchResult is one line of the BENCH_sharded.json trajectory file.

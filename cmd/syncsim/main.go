@@ -16,7 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/registry"
@@ -40,8 +43,42 @@ func main() {
 		readfrac = flag.Float64("readfrac", 0.9, "read fraction (rw)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		names    = flag.Bool("names", false, "list algorithm names and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail("%v", err)
+		}
+		cpuStop := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		addProfileStop(cpuStop)
+	}
+	if *memProf != "" {
+		path := *memProf
+		addProfileStop(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "syncsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "syncsim:", err)
+			}
+		})
+	}
+	defer stopProfiles()
 
 	if *names {
 		fmt.Printf("locks:     %s\n", strings.Join(simsync.LockSet.Names(), " "))
@@ -181,7 +218,26 @@ func trafficName(m machine.Model) string {
 	return "bus txns"
 }
 
+// profileStops holds the -cpuprofile/-memprofile flush actions. They
+// run once, on the normal return of main or inside fail — os.Exit skips
+// deferred functions, and a truncated CPU profile is unreadable.
+var (
+	profileStops []func()
+	profileOnce  sync.Once
+)
+
+func addProfileStop(fn func()) { profileStops = append(profileStops, fn) }
+
+func stopProfiles() {
+	profileOnce.Do(func() {
+		for _, fn := range profileStops {
+			fn()
+		}
+	})
+}
+
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "syncsim: "+format+"\n", args...)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Options tune a harness run.
@@ -34,8 +35,16 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
+// progressMu serializes progress lines from concurrently running sweep
+// cells, wherever the sweep was entered from (RunIDs or a direct
+// Experiment.Run call). Progress is low-rate, so one process-wide lock
+// costs nothing.
+var progressMu sync.Mutex
+
 func (o Options) progressf(format string, args ...interface{}) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(o.Progress, format, args...)
 	}
 }

@@ -2,8 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/locks"
 	"repro/internal/registry"
@@ -75,9 +78,15 @@ type metricSpec struct {
 
 // runMatrix is the shared sweep driver: one row per axis value, one
 // column per algorithm, one emitted table per metric. measure returns
-// one value per metric for a single (axis point, algorithm) cell;
-// cells are visited axis-major so progress output reads naturally.
-func runMatrix[A any](algos []A, nameOf func(A) string, axisLabel string,
+// one value per metric for a single (axis point, algorithm) cell.
+//
+// Simulated sweeps run their cells concurrently across host cores —
+// each cell builds its own deterministic Machine, so the numbers are
+// bit-identical to a sequential run and only wall-clock changes; the
+// tables are assembled in canonical (axis-major) order afterwards.
+// Real-runtime sweeps must instead pass parallel=false: their cells
+// measure host time and would perturb each other.
+func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel string,
 	axis []string, metrics []metricSpec,
 	measure func(ai int, algo A) ([]float64, error)) ([]Table, error) {
 
@@ -89,18 +98,36 @@ func runMatrix[A any](algos []A, nameOf func(A) string, axisLabel string,
 		}
 		tables[mi] = Table{ID: ms.ID, Title: ms.Title, Note: ms.Note, Cols: cols}
 	}
+
+	// results[ai][aj] holds one value per metric; cells are independent
+	// and written by at most one goroutine each.
+	results := make([][][]float64, len(axis))
+	for ai := range results {
+		results[ai] = make([][]float64, len(algos))
+	}
+	err := forEachCell(parallel, len(axis)*len(algos), func(cell int) error {
+		// Axis-major assignment keeps the single-worker order identical
+		// to the historical sequential sweep.
+		ai, aj := cell/len(algos), cell%len(algos)
+		vals, merr := measure(ai, algos[aj])
+		if merr != nil {
+			return merr
+		}
+		results[ai][aj] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	for ai, x := range axis {
 		rows := make([][]string, len(metrics))
 		for mi := range rows {
 			rows[mi] = []string{x}
 		}
-		for _, a := range algos {
-			vals, err := measure(ai, a)
-			if err != nil {
-				return nil, err
-			}
+		for aj := range algos {
 			for mi := range metrics {
-				rows[mi] = append(rows[mi], Fmt(vals[mi]))
+				rows[mi] = append(rows[mi], Fmt(results[ai][aj][mi]))
 			}
 		}
 		for mi := range tables {
@@ -108,6 +135,66 @@ func runMatrix[A any](algos []A, nameOf func(A) string, axisLabel string,
 		}
 	}
 	return tables, nil
+}
+
+// forEachCell runs fn for every cell index in [0, total) and returns
+// the first error. With parallel set, cells run concurrently across
+// host cores (each must write only its own result slot); remaining
+// cells are skipped once any cell fails, so an early error does not
+// cost a full sweep's wall-clock. With parallel unset, cells run
+// sequentially in index order on the calling goroutine — the mode for
+// real-runtime measurements.
+func forEachCell(parallel bool, total int, fn func(i int) error) error {
+	var (
+		firstErr error
+		errMu    sync.Mutex
+		failed   atomic.Bool
+	)
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > total {
+			workers = total
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				cell := int(atomic.AddInt64(&next, 1))
+				if cell >= total {
+					return
+				}
+				if err := fn(cell); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // intAxis renders an integer axis (processor or goroutine counts) as

@@ -9,7 +9,7 @@ import (
 )
 
 func barrierSweep(o Options, model machine.Model, procsList []int, perProc bool, ms metricSpec) ([]Table, error) {
-	return runMatrix(algosFor(o, simsync.BarrierSet),
+	return runMatrix(true, algosFor(o, simsync.BarrierSet),
 		func(bi simsync.BarrierInfo) string { return bi.Name },
 		"P", intAxis(procsList), []metricSpec{ms},
 		func(ai int, bi simsync.BarrierInfo) ([]float64, error) {

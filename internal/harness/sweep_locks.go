@@ -49,8 +49,14 @@ func runT1(o Options) ([]Table, error) {
 
 func lockSweep(o Options, model machine.Model, procsList []int, metrics []metricSpec) (tables []Table, perLockTraffic map[string][]float64, err error) {
 	infos := algosFor(o, simsync.LockSet)
-	perLockTraffic = make(map[string][]float64)
-	tables, err = runMatrix(infos, func(li simsync.LockInfo) string { return li.Name },
+	// Pre-size the traffic series so concurrent cells write disjoint
+	// indexed slots instead of appending (the map itself is read-only
+	// while the matrix runs).
+	perLockTraffic = make(map[string][]float64, len(infos))
+	for _, li := range infos {
+		perLockTraffic[li.Name] = make([]float64, len(procsList))
+	}
+	tables, err = runMatrix(true, infos, func(li simsync.LockInfo) string { return li.Name },
 		"P", intAxis(procsList), metrics,
 		func(ai int, li simsync.LockInfo) ([]float64, error) {
 			p := procsList[ai]
@@ -63,7 +69,7 @@ func lockSweep(o Options, model machine.Model, procsList []int, metrics []metric
 			}
 			o.progressf("  %s %s P=%d: %.0f cyc/acq, %.2f traffic/acq\n",
 				model, li.Name, p, res.CyclesPerAcq, res.TrafficPerAcq)
-			perLockTraffic[li.Name] = append(perLockTraffic[li.Name], res.TrafficPerAcq)
+			perLockTraffic[li.Name][ai] = res.TrafficPerAcq
 			return []float64{res.CyclesPerAcq, res.TrafficPerAcq}, nil
 		})
 	return tables, perLockTraffic, err
@@ -185,7 +191,7 @@ func runF6(o Options) ([]Table, error) {
 	for i, cs := range lengths {
 		axis[i] = Fmt(float64(cs))
 	}
-	return runMatrix(algosFor(o, simsync.LockSet),
+	return runMatrix(true, algosFor(o, simsync.LockSet),
 		func(li simsync.LockInfo) string { return li.Name },
 		"CS cycles", axis,
 		[]metricSpec{{ID: "F6",
@@ -219,7 +225,8 @@ func runF11(o Options) ([]Table, error) {
 	for g := 1; g <= maxG; g *= 2 {
 		gs = append(gs, g)
 	}
-	return runMatrix(algosFor(o, locks.Registry),
+	// Real runtime: cells time the host and must not run concurrently.
+	return runMatrix(false, algosFor(o, locks.Registry),
 		func(li locks.Info) string { return li.Name },
 		"goroutines", intAxis(gs),
 		[]metricSpec{{ID: "F11",
@@ -289,14 +296,24 @@ func runT3(o Options) ([]Table, error) {
 		Note:  "queue locks: spread ~1, zero inversions; randomized backoff: wide spread, many inversions",
 		Cols:  []string{"lock", "total acq", "min/proc", "max/proc", "max/min", "inversions/acq"},
 	}
-	for _, li := range algosFor(o, simsync.LockSet) {
-		res, err := simsync.RunLock(
+	infos := algosFor(o, simsync.LockSet)
+	results := make([]simsync.LockResult, len(infos))
+	err := forEachCell(true, len(infos), func(cell int) error {
+		res, rerr := simsync.RunLock(
 			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
-			li, simsync.LockOpts{Duration: duration, CS: 25, Think: 50, CheckMutex: true, RecordOrder: true},
+			infos[cell], simsync.LockOpts{Duration: duration, CS: 25, Think: 50, CheckMutex: true, RecordOrder: true},
 		)
-		if err != nil {
-			return nil, err
+		if rerr != nil {
+			return rerr
 		}
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, li := range infos {
+		res := results[ci]
 		var min, max uint64 = ^uint64(0), 0
 		for _, c := range res.AcqPerProc {
 			if c < min {
@@ -338,34 +355,37 @@ func runA1(o Options) ([]Table, error) {
 	tas, _ := simsync.LockByName("tas")
 	qs, _ := simsync.LockByName("qsync")
 
-	run := func(cfg machine.Config, li simsync.LockInfo) (simsync.LockResult, error) {
-		return simsync.RunLock(cfg, li, simLockOpts(o.lockIters()))
+	type point struct {
+		machine string
+		param   string
+		cfg     machine.Config
 	}
+	var points []point
 	for _, busLat := range []sim.Time{5, 20, 80} {
-		cfg := machine.Config{Procs: p, Model: machine.Bus, BusLatency: busLat, Seed: o.seed()}
-		rt, err := run(cfg, tas)
-		if err != nil {
-			return nil, err
-		}
-		rq, err := run(cfg, qs)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("bus", fmt.Sprintf("bus latency %d", busLat),
-			Fmt(rt.CyclesPerAcq), Fmt(rq.CyclesPerAcq),
-			fmt.Sprintf("%.2f", rt.CyclesPerAcq/rq.CyclesPerAcq), Fmt(rq.TrafficPerAcq))
+		points = append(points, point{"bus", fmt.Sprintf("bus latency %d", busLat),
+			machine.Config{Procs: p, Model: machine.Bus, BusLatency: busLat, Seed: o.seed()}})
 	}
 	for _, remote := range []sim.Time{4, 12, 48} {
-		cfg := machine.Config{Procs: p, Model: machine.NUMA, RemoteMem: remote, Seed: o.seed()}
-		rt, err := run(cfg, tas)
-		if err != nil {
-			return nil, err
+		points = append(points, point{"numa", fmt.Sprintf("remote latency %d", remote),
+			machine.Config{Procs: p, Model: machine.NUMA, RemoteMem: remote, Seed: o.seed()}})
+	}
+	locksUnder := []simsync.LockInfo{tas, qs}
+	results := make([]simsync.LockResult, len(points)*len(locksUnder))
+	err := forEachCell(true, len(results), func(cell int) error {
+		pi, li := cell/len(locksUnder), cell%len(locksUnder)
+		res, rerr := simsync.RunLock(points[pi].cfg, locksUnder[li], simLockOpts(o.lockIters()))
+		if rerr != nil {
+			return rerr
 		}
-		rq, err := run(cfg, qs)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("numa", fmt.Sprintf("remote latency %d", remote),
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		rt, rq := results[pi*len(locksUnder)], results[pi*len(locksUnder)+1]
+		t.AddRow(pt.machine, pt.param,
 			Fmt(rt.CyclesPerAcq), Fmt(rq.CyclesPerAcq),
 			fmt.Sprintf("%.2f", rt.CyclesPerAcq/rq.CyclesPerAcq), Fmt(rq.TrafficPerAcq))
 	}

@@ -35,19 +35,29 @@ func runF15(o Options) ([]Table, error) {
 		Note:  "a single fetch&add word saturates its home module as P grows; pairwise software combining halves the root pressure and wins past the crossover, at the price of idle-case latency (the Ultracomputer trade)",
 		Cols:  []string{"P", "fetch&add", "combining", "fa/combining"},
 	}
-	for _, p := range procsList {
+	results := make([]simsync.CounterResult, len(procsList)*len(infos))
+	err = forEachCell(true, len(results), func(cell int) error {
+		pi, ii := cell/len(infos), cell%len(infos)
+		res, rerr := simsync.RunCounter(
+			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
+			infos[ii],
+			simsync.CounterOpts{Incs: incs},
+		)
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  %s P=%d: %.1f cyc/inc\n", infos[ii].Name, procsList[pi], res.CyclesPerInc)
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range procsList {
 		row := []string{Fmt(float64(p))}
 		var vals []float64
-		for _, info := range infos {
-			res, err := simsync.RunCounter(
-				machine.Config{Procs: p, Model: machine.NUMA, Seed: o.seed()},
-				info,
-				simsync.CounterOpts{Incs: incs},
-			)
-			if err != nil {
-				return nil, err
-			}
-			o.progressf("  %s P=%d: %.1f cyc/inc\n", info.Name, p, res.CyclesPerInc)
+		for ii := range infos {
+			res := results[pi*len(infos)+ii]
 			row = append(row, Fmt(res.CyclesPerInc))
 			vals = append(vals, res.CyclesPerInc)
 		}
@@ -92,21 +102,31 @@ func runF16(o Options) ([]Table, error) {
 		Note:  "striping moves every increment into the caller's own module: cycles and remote references per increment stay flat with P while the central fetch&add climbs; the ratio is the scalability headroom sharding buys",
 		Cols:  cols,
 	}
-	for _, p := range procsList {
+	results := make([]simsync.CounterResult, len(procsList)*len(infos))
+	err := forEachCell(true, len(results), func(cell int) error {
+		pi, ii := cell/len(infos), cell%len(infos)
+		res, rerr := simsync.RunCounter(
+			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
+			infos[ii],
+			simsync.CounterOpts{Incs: incs},
+		)
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  %s P=%d: %.1f cyc/inc, %.2f refs/inc\n",
+			infos[ii].Name, procsList[pi], res.CyclesPerInc, res.TrafficPerInc)
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range procsList {
 		row := []string{Fmt(float64(p))}
 		cycByName := make(map[string]float64, len(infos))
 		var refs []string
-		for _, info := range infos {
-			res, err := simsync.RunCounter(
-				machine.Config{Procs: p, Model: machine.NUMA, Seed: o.seed()},
-				info,
-				simsync.CounterOpts{Incs: incs},
-			)
-			if err != nil {
-				return nil, err
-			}
-			o.progressf("  %s P=%d: %.1f cyc/inc, %.2f refs/inc\n",
-				info.Name, p, res.CyclesPerInc, res.TrafficPerInc)
+		for ii, info := range infos {
+			res := results[pi*len(infos)+ii]
 			cycByName[info.Name] = res.CyclesPerInc
 			row = append(row, Fmt(res.CyclesPerInc))
 			refs = append(refs, Fmt(res.TrafficPerInc))

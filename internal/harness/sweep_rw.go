@@ -32,7 +32,8 @@ func runF9(o Options) ([]Table, error) {
 	for i, f := range fracs {
 		axis[i] = fmt.Sprintf("%.2f", f)
 	}
-	return runMatrix(algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
+	// Real runtime: cells time the host and must not run concurrently.
+	return runMatrix(false, algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
 		"read fraction", axis,
 		[]metricSpec{{ID: "F9",
 			Title: fmt.Sprintf("Reader-writer throughput vs read fraction (%d goroutines, real runtime)", gor),
@@ -70,18 +71,29 @@ func runF13(o Options) ([]Table, error) {
 		Note:  "reader sharing pays off as the read fraction rises; the fair queue variant adds bounded overhead and removes writer starvation",
 		Cols:  cols,
 	}
-	for _, frac := range []float64{0, 0.5, 0.9, 1} {
+	fracs := []float64{0, 0.5, 0.9, 1}
+	results := make([]simsync.RWResult, len(fracs)*len(infos))
+	err := forEachCell(true, len(results), func(cell int) error {
+		fi, ii := cell/len(infos), cell%len(infos)
+		res, rerr := simsync.RunRW(
+			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+			infos[ii],
+			simsync.RWOpts{Iters: iters, ReadFraction: fracs[fi], Work: 40, Think: 60},
+		)
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  rw %s frac=%.2f: %.0f cyc/op\n", infos[ii].Name, fracs[fi], res.CyclesPerOp)
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, frac := range fracs {
 		row := []string{fmt.Sprintf("%.2f", frac)}
-		for _, info := range infos {
-			res, err := simsync.RunRW(
-				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
-				info,
-				simsync.RWOpts{Iters: iters, ReadFraction: frac, Work: 40, Think: 60},
-			)
-			if err != nil {
-				return nil, err
-			}
-			o.progressf("  rw %s frac=%.2f: %.0f cyc/op\n", info.Name, frac, res.CyclesPerOp)
+		for ii := range infos {
+			res := results[fi*len(infos)+ii]
 			row = append(row, Fmt(res.CyclesPerOp), Fmt(res.TrafficPerOp))
 		}
 		t.Rows = append(t.Rows, row)

@@ -71,20 +71,33 @@ func runF14(o Options) ([]Table, error) {
 		Note:  "the central spin semaphore hammers its counter from every blocked processor; the mechanism's queueing semaphore hands permits off directly with bounded traffic",
 		Cols:  cols,
 	}
-	for _, p := range procsList {
+	models := []machine.Model{machine.Bus, machine.NUMA}
+	perRow := len(models) * len(infos)
+	results := make([]simsync.PCResult, len(procsList)*perRow)
+	err := forEachCell(true, len(results), func(cell int) error {
+		pi, rest := cell/perRow, cell%perRow
+		model, info := models[rest/len(infos)], infos[rest%len(infos)]
+		res, rerr := simsync.RunProducerConsumer(
+			machine.Config{Procs: procsList[pi], Model: model, Seed: o.seed()},
+			info,
+			simsync.PCOpts{Items: items, Capacity: 4, Work: 20},
+		)
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  %s %s P=%d: %.0f cyc/item %.1f traffic/item\n",
+			model, info.Name, procsList[pi], res.CyclesPerItem, res.TrafficPerItem)
+		results[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range procsList {
 		row := []string{Fmt(float64(p))}
-		for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
-			for _, info := range infos {
-				res, err := simsync.RunProducerConsumer(
-					machine.Config{Procs: p, Model: model, Seed: o.seed()},
-					info,
-					simsync.PCOpts{Items: items, Capacity: 4, Work: 20},
-				)
-				if err != nil {
-					return nil, err
-				}
-				o.progressf("  %s %s P=%d: %.0f cyc/item %.1f traffic/item\n",
-					model, info.Name, p, res.CyclesPerItem, res.TrafficPerItem)
+		for mi, model := range models {
+			for ii := range infos {
+				res := results[pi*perRow+mi*len(infos)+ii]
 				if model == machine.Bus {
 					row = append(row, Fmt(res.CyclesPerItem))
 				} else {

@@ -150,8 +150,12 @@ type ProcStats struct {
 
 // Stats is a machine-wide counter snapshot.
 type Stats struct {
-	Cycles     sim.Time // virtual time at the end of the run
-	Events     uint64   // engine events processed
+	Cycles sim.Time // virtual time at the end of the run
+	Events uint64   // engine events processed
+	// InlineOps counts operations retired on the processor-side fast
+	// path with no engine event and no goroutine handoff. A host-side
+	// efficiency metric: it has no effect on simulated time or traffic.
+	InlineOps  uint64
 	Loads      uint64
 	Stores     uint64
 	RMWs       uint64
@@ -183,12 +187,20 @@ type Machine struct {
 
 	mem     []Word
 	sharers []uint64 // Bus: bitmask of caching processors, per word
-	owner   []int16  // Bus: processor holding the word exclusive, or -1
+	owner   []int16  // Bus: processor index + 1 holding the word exclusive, or 0
 
 	busFreeAt sim.Time
 	modFreeAt []sim.Time // NUMA: per-module port availability
 
-	watchers map[Addr][]*Proc
+	// Watchers form one intrusive FIFO list per word: watchHead/watchTail
+	// index the first and last watching processor and each Proc carries
+	// the next link. Links are stored as processor index + 1, so the
+	// zero value means "empty" and the arrays need no initialization
+	// pass. A processor watches at most one address at a time, so the
+	// per-proc link is unambiguous and parking/waking never touches the
+	// allocator or a map.
+	watchHead []int32
+	watchTail []int32
 
 	procs []*Proc
 	live  int
@@ -196,10 +208,11 @@ type Machine struct {
 	nextShared Addr
 	nextLocal  []Addr
 
-	stats   Stats
-	aborted chan struct{}
-	ran     bool
-	progErr error // first panic raised by a simulated program
+	stats       Stats
+	done        chan error // termination signal from the drive loop to RunEach
+	tearingDown bool       // set by RunEach before waking parked processors to unwind
+	ran         bool
+	progErr     error // first panic raised by a simulated program
 }
 
 // New builds a machine from cfg (zero fields defaulted).
@@ -210,12 +223,13 @@ func New(cfg Config) (*Machine, error) {
 	}
 	total := cfg.SharedWords + cfg.Procs*cfg.LocalWords
 	m := &Machine{
-		cfg:      cfg,
-		eng:      sim.NewEngine(),
-		rng:      sim.NewRNG(cfg.Seed),
-		mem:      make([]Word, total),
-		watchers: make(map[Addr][]*Proc),
-		procs:    make([]*Proc, cfg.Procs),
+		cfg:       cfg,
+		eng:       sim.NewEngine(),
+		rng:       sim.NewRNG(cfg.Seed),
+		mem:       make([]Word, total),
+		watchHead: make([]int32, total),
+		watchTail: make([]int32, total),
+		procs:     make([]*Proc, cfg.Procs),
 		nextLocal: func() []Addr {
 			cursors := make([]Addr, cfg.Procs)
 			for i := range cursors {
@@ -223,7 +237,7 @@ func New(cfg Config) (*Machine, error) {
 			}
 			return cursors
 		}(),
-		aborted: make(chan struct{}),
+		done: make(chan error, 1),
 	}
 	if cfg.MaxSteps != 0 {
 		m.eng.SetMaxSteps(cfg.MaxSteps)
@@ -231,9 +245,6 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Model == Bus {
 		m.sharers = make([]uint64, total)
 		m.owner = make([]int16, total)
-		for i := range m.owner {
-			m.owner[i] = -1
-		}
 	}
 	if cfg.Model == NUMA {
 		m.modFreeAt = make([]sim.Time, cfg.Procs)
@@ -244,7 +255,6 @@ func New(cfg Config) (*Machine, error) {
 			m:      m,
 			rng:    m.rng.Derive(uint64(i)),
 			resume: make(chan struct{}),
-			yield:  make(chan struct{}),
 		}
 	}
 	return m, nil
@@ -343,6 +353,14 @@ func (m *Machine) Run(body func(p *Proc)) error {
 
 // RunEach executes one program per processor. len(bodies) must equal the
 // processor count.
+//
+// The run loop is baton-passing: there is no central engine goroutine.
+// Exactly one goroutine is runnable at a time — the processor holding
+// the baton. When it blocks, it steps the engine itself until an event
+// dispatches another processor, hands the baton over with a single
+// channel send, and parks. A simulated context switch therefore costs
+// one goroutine handoff, not two, and an operation retired on the
+// inline fast path costs none.
 func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 	if len(bodies) != m.cfg.Procs {
 		return fmt.Errorf("machine: RunEach needs %d bodies, got %d", m.cfg.Procs, len(bodies))
@@ -367,35 +385,97 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 				}
 				// A panic in the simulated program (bad address, logic
 				// error) surfaces as a Run error instead of killing the
-				// process. The panicking processor is the running one,
-				// so the engine is waiting for our yield.
+				// process. The panicking processor holds the baton, so
+				// it must keep driving the remaining processors.
 				if m.progErr == nil {
 					m.progErr = fmt.Errorf("machine: processor %d panicked: %v", proc.id, r)
 				}
 				proc.finished = true
 				m.live--
-				proc.yield <- struct{}{}
+				m.drive(proc)
 			}()
-			proc.wait() // parked until the engine dispatches us at t=0
+			proc.waitBaton() // parked until the engine dispatches us at t=0
 			body(proc)
+			// The body may have finished ahead of the engine clock on the
+			// inline fast path; drain that run-ahead through one event so
+			// the final Cycles count is exact.
+			proc.syncClock()
 			proc.finished = true
 			m.live--
-			proc.yield <- struct{}{}
+			m.drive(proc)
 		}()
 		// Stagger start events by scheduling order; all at t=0.
-		m.eng.At(0, func() { m.dispatch(proc) })
+		m.eng.AtEvent(0, sim.EvDispatch, int32(i), 0)
 	}
 
-	err := m.eng.Run()
+	// Kick off: hand the baton to the first dispatched processor, then
+	// wait for a drive loop to signal termination.
+	m.drive(nil)
+	err := <-m.done
 	if m.progErr != nil {
 		err = m.progErr
 	} else if err == nil && m.live > 0 {
 		err = m.deadlockError()
 	}
-	// Release any still-parked processor goroutines.
-	close(m.aborted)
+	// Unwind any still-parked processor goroutines. Every unfinished
+	// processor is parked on its resume channel (the baton holder was
+	// the one that signaled done, and it parks — or exits — right after).
+	m.tearingDown = true
+	for _, p := range m.procs {
+		if !p.finished {
+			p.resume <- struct{}{}
+		}
+	}
 	wg.Wait()
 	return err
+}
+
+// drive steps the engine on the calling goroutine until an event
+// dispatches p (p resumes its program), handing the baton to any other
+// processor dispatched along the way. Closure events run in place. When
+// the queue drains or the work budget trips, drive signals termination
+// on m.done; a finished (or nil, for kickoff) p then returns so its
+// goroutine can exit, while a live p parks for teardown.
+func (m *Machine) drive(p *Proc) {
+	for {
+		kind, arg0, _, fired := m.eng.StepPayload()
+		if !fired {
+			m.done <- nil // queue drained: completion, or deadlock if live > 0
+			m.parkOrExit(p)
+			return
+		}
+		if m.eng.Exhausted() {
+			m.done <- fmt.Errorf("%w after %d events at t=%d", sim.ErrStepLimit, m.eng.Steps(), m.eng.Now())
+			m.parkOrExit(p)
+			return
+		}
+		if kind != sim.EvDispatch {
+			continue // closure event, already run in place
+		}
+		q := m.procs[arg0]
+		if q.finished {
+			continue // stale wakeup for a processor that already returned
+		}
+		q.localNow = m.eng.Now()
+		if q == p {
+			return // our own wakeup: keep running, no handoff at all
+		}
+		q.resume <- struct{}{} // pass the baton
+		if p == nil || p.finished {
+			return
+		}
+		p.waitBaton() // park until dispatched; the sender set our clock
+		return
+	}
+}
+
+// parkOrExit ends p's participation in a terminated run: a live
+// processor parks until RunEach's teardown wakes it (unwinding via the
+// abort sentinel), a finished one — or the kickoff caller — just returns.
+func (m *Machine) parkOrExit(p *Proc) {
+	if p != nil && !p.finished {
+		p.waitBaton()
+	}
 }
 
 func (m *Machine) deadlockError() error {
@@ -405,33 +485,33 @@ func (m *Machine) deadlockError() error {
 			if blocked != "" {
 				blocked += ", "
 			}
-			blocked += fmt.Sprintf("P%d(%s)", p.id, p.blockedOn)
+			why := p.blockedOn
+			if why == "watch" {
+				why = fmt.Sprintf("watch@%d", p.blockedAddr)
+			}
+			blocked += fmt.Sprintf("P%d(%s)", p.id, why)
 		}
 	}
 	return fmt.Errorf("machine: deadlock at t=%d with %d processors blocked: %s", m.eng.Now(), m.live, blocked)
 }
 
-// dispatch hands control to processor p until it blocks again. Exactly
-// one processor runs at a time; the engine goroutine waits here.
-func (m *Machine) dispatch(p *Proc) {
-	if p.finished {
-		return
-	}
-	p.resume <- struct{}{}
-	<-p.yield
-}
-
 // wakeWatchers schedules every processor watching addr to resume at the
-// given absolute time. Spurious wakeups are fine: SpinUntil rechecks.
+// given absolute time, in registration (FIFO) order. Spurious wakeups
+// are fine: SpinUntil rechecks. The intrusive list is consumed in place;
+// no allocation, no map churn. Links are processor index + 1 (zero =
+// end of list).
 func (m *Machine) wakeWatchers(a Addr, at sim.Time) {
-	ws := m.watchers[a]
-	if len(ws) == 0 {
+	link := m.watchHead[a]
+	if link == 0 {
 		return
 	}
-	delete(m.watchers, a)
-	for _, p := range ws {
-		proc := p
-		m.eng.At(at, func() { m.dispatch(proc) })
+	m.watchHead[a] = 0
+	m.watchTail[a] = 0
+	for link != 0 {
+		p := m.procs[link-1]
+		m.eng.AtEvent(at, sim.EvDispatch, link-1, int32(a))
+		link = p.watchNext
+		p.watchNext = 0
 	}
 }
 

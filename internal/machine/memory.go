@@ -44,26 +44,29 @@ func (m *Machine) accessBus(p *Proc, a Addr, k accessKind) sim.Time {
 		}
 		lat := m.busTransaction(p)
 		// Read miss: any exclusive owner is downgraded to shared; the
-		// requester joins the sharer set.
-		m.owner[a] = -1
+		// requester joins the sharer set. Owners are stored as processor
+		// index + 1 so a zeroed array means "no exclusive owner".
+		m.owner[a] = 0
 		m.sharers[a] |= bit
 		return lat
 	default: // accWrite, accRMW
-		if m.owner[a] == int16(p.id) {
+		if m.owner[a] == int16(p.id)+1 {
 			return m.cfg.CacheHit // already exclusive: write hit
 		}
 		lat := m.busTransaction(p)
 		// Invalidate all other copies; requester becomes exclusive owner.
 		m.sharers[a] = bit
-		m.owner[a] = int16(p.id)
+		m.owner[a] = int16(p.id) + 1
 		return lat
 	}
 }
 
 // busTransaction serializes on the single bus and charges one
-// transaction to processor p.
+// transaction to processor p. Occupancy is computed against the
+// processor's local clock, which may run ahead of the engine clock on
+// the inline fast path.
 func (m *Machine) busTransaction(p *Proc) sim.Time {
-	now := m.eng.Now()
+	now := p.localNow
 	start := now
 	if m.busFreeAt > start {
 		start = m.busFreeAt
@@ -84,7 +87,7 @@ func (m *Machine) busTransaction(p *Proc) sim.Time {
 // and the queue in front of it grows with P.
 func (m *Machine) accessNUMA(p *Proc, a Addr, _ accessKind) sim.Time {
 	mod := m.home(a)
-	now := m.eng.Now()
+	now := p.localNow
 	start := now
 	if m.modFreeAt[mod] > start {
 		start = m.modFreeAt[mod]

@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -12,16 +10,39 @@ import (
 //
 // A Proc is only valid inside the program body passed to Machine.Run;
 // its methods must never be called from any other goroutine.
+//
+// Timing is tracked on a per-processor local clock. When the engine
+// dispatches a processor the local clock equals the engine clock; each
+// operation then either retires inline — advancing only the local clock,
+// with no event and no goroutine handoff — or synchronizes with the
+// engine. Inlining is a conservative-lookahead decision: an operation
+// completing at local time t may retire inline if and only if no pending
+// engine event has a timestamp <= t, because then no other processor
+// could have run (or observed anything) before the operation finished.
+// The transformation is therefore exact: cycle counts, traffic counts,
+// and the interleaving of all processors are bit-identical to the fully
+// event-driven execution, but cache hits and local delays — the bulk of
+// a spin loop — cost no engine work at all.
 type Proc struct {
 	id  int
 	m   *Machine
 	rng *sim.RNG
 
+	// resume carries the baton: a send resumes this processor's program
+	// at the time of the dispatch event the sender just fired.
 	resume chan struct{}
-	yield  chan struct{}
 
-	finished  bool
-	blockedOn string
+	// localNow is this processor's clock. Invariant while running:
+	// localNow >= engine clock, and no pending event fires in between.
+	localNow sim.Time
+
+	// watchNext links the intrusive per-word watcher list (see
+	// Machine.watchHead) as processor index + 1; zero terminates.
+	watchNext int32
+
+	finished    bool
+	blockedOn   string // static tag for deadlock reports; never formatted on the hot path
+	blockedAddr Addr   // address detail when blockedOn == "watch"
 
 	stats ProcStats
 }
@@ -32,52 +53,86 @@ func (p *Proc) ID() int { return p.id }
 // Machine returns the owning machine.
 func (p *Proc) Machine() *Machine { return p.m }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
+// Now returns the current virtual time as seen by this processor.
+func (p *Proc) Now() sim.Time { return p.localNow }
 
 // RNG returns this processor's private deterministic generator.
 func (p *Proc) RNG() *sim.RNG { return p.rng }
 
-// wait parks the processor until the engine dispatches it. If the
-// simulation is aborted (step limit, deadlock teardown) the processor
-// goroutine unwinds via the abort sentinel.
-func (p *Proc) wait() {
-	select {
-	case <-p.resume:
-	case <-p.m.aborted:
+// waitBaton parks the processor until another drive loop hands it the
+// baton (its dispatch event fired). During teardown of a terminated run
+// the wake is RunEach unwinding us instead; the goroutine exits via the
+// abort sentinel.
+func (p *Proc) waitBaton() {
+	<-p.resume
+	if p.m.tearingDown {
 		panic(abortSentinel)
 	}
 }
 
-// block charges lat cycles: it schedules this processor's wakeup and
-// yields to the engine.
-func (p *Proc) block(lat sim.Time, why string) {
+// complete finishes an operation that costs lat cycles. Fast path: when
+// every pending engine event is strictly later than the completion time,
+// the operation retires inline by advancing the local clock. Slow path:
+// schedule the wakeup and yield to the engine.
+func (p *Proc) complete(lat sim.Time, why string) {
+	target := p.localNow + lat
+	if next, ok := p.m.eng.NextTime(); !ok || next > target {
+		// Inline work still charges the livelock budget; once it is
+		// exhausted we must go through the engine so its run loop can
+		// surface ErrStepLimit instead of spinning the host forever.
+		if !p.m.eng.ChargeStep() {
+			p.localNow = target
+			p.m.stats.InlineOps++
+			return
+		}
+	}
+	p.blockAt(target, why)
+}
+
+// blockAt schedules this processor's wakeup at absolute time t and
+// drives the engine until the wakeup fires; the drive loop
+// resynchronizes the local clock.
+func (p *Proc) blockAt(t sim.Time, why string) {
 	p.blockedOn = why
-	proc := p
-	p.m.eng.After(lat, func() { p.m.dispatch(proc) })
-	p.yield <- struct{}{}
-	p.wait()
+	p.m.eng.AtEvent(t, sim.EvDispatch, int32(p.id), 0)
+	p.m.drive(p)
 	p.blockedOn = ""
+}
+
+// syncClock drains any fast-path run-ahead through one engine event, so
+// the engine clock catches up to this processor's local clock. Called
+// when the program body returns.
+func (p *Proc) syncClock() {
+	if p.localNow > p.m.eng.Now() {
+		p.blockAt(p.localNow, "finish")
+	}
 }
 
 // parkOnWatch registers this processor as a watcher of addr and yields
 // without scheduling a wakeup; only a write to addr (or teardown) resumes it.
 func (p *Proc) parkOnWatch(a Addr) {
-	p.blockedOn = fmt.Sprintf("watch@%d", a)
-	p.m.watchers[a] = append(p.m.watchers[a], p)
-	p.yield <- struct{}{}
-	p.wait()
+	p.blockedOn = "watch"
+	p.blockedAddr = a
+	link := int32(p.id) + 1
+	p.watchNext = 0
+	if tail := p.m.watchTail[a]; tail != 0 {
+		p.m.procs[tail-1].watchNext = link
+	} else {
+		p.m.watchHead[a] = link
+	}
+	p.m.watchTail[a] = link
+	p.m.drive(p)
 	p.blockedOn = ""
 }
 
-// Delay models local computation taking d cycles. Zero or negative
-// delays cost nothing but still yield, preserving fairness of the event
-// ordering.
+// Delay models local computation taking d cycles. A delay whose end
+// precedes every pending event retires inline; otherwise it yields,
+// preserving fairness of the event ordering exactly as before.
 func (p *Proc) Delay(d sim.Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.block(d, "delay")
+	p.complete(d, "delay")
 }
 
 // Load reads a word.
@@ -85,7 +140,7 @@ func (p *Proc) Load(a Addr) Word {
 	p.stats.Loads++
 	lat := p.m.access(p, a, accRead)
 	v := p.m.mem[a]
-	p.block(lat, "load")
+	p.complete(lat, "load")
 	return v
 }
 
@@ -94,8 +149,8 @@ func (p *Proc) Store(a Addr, v Word) {
 	p.stats.Stores++
 	lat := p.m.access(p, a, accWrite)
 	p.m.mem[a] = v
-	p.m.wakeWatchers(a, p.Now()+lat)
-	p.block(lat, "store")
+	p.m.wakeWatchers(a, p.localNow+lat)
+	p.complete(lat, "store")
 }
 
 // TestAndSet atomically sets the word to 1 and returns its old value.
@@ -104,8 +159,8 @@ func (p *Proc) TestAndSet(a Addr) Word {
 	lat := p.m.access(p, a, accRMW)
 	old := p.m.mem[a]
 	p.m.mem[a] = 1
-	p.m.wakeWatchers(a, p.Now()+lat)
-	p.block(lat, "test&set")
+	p.m.wakeWatchers(a, p.localNow+lat)
+	p.complete(lat, "test&set")
 	return old
 }
 
@@ -115,8 +170,8 @@ func (p *Proc) FetchStore(a Addr, v Word) Word {
 	lat := p.m.access(p, a, accRMW)
 	old := p.m.mem[a]
 	p.m.mem[a] = v
-	p.m.wakeWatchers(a, p.Now()+lat)
-	p.block(lat, "fetch&store")
+	p.m.wakeWatchers(a, p.localNow+lat)
+	p.complete(lat, "fetch&store")
 	return old
 }
 
@@ -126,8 +181,8 @@ func (p *Proc) FetchAdd(a Addr, d Word) Word {
 	lat := p.m.access(p, a, accRMW)
 	old := p.m.mem[a]
 	p.m.mem[a] = old + d
-	p.m.wakeWatchers(a, p.Now()+lat)
-	p.block(lat, "fetch&add")
+	p.m.wakeWatchers(a, p.localNow+lat)
+	p.complete(lat, "fetch&add")
 	return old
 }
 
@@ -140,9 +195,9 @@ func (p *Proc) CompareAndSwap(a Addr, old, new Word) bool {
 	ok := p.m.mem[a] == old
 	if ok {
 		p.m.mem[a] = new
-		p.m.wakeWatchers(a, p.Now()+lat)
+		p.m.wakeWatchers(a, p.localNow+lat)
 	}
-	p.block(lat, "compare&swap")
+	p.complete(lat, "compare&swap")
 	return ok
 }
 
@@ -153,6 +208,9 @@ func (p *Proc) CompareAndSwap(a Addr, old, new Word) bool {
 //     the value is unchanged the spinner consumes no interconnect
 //     bandwidth (it spins in its own cache); each write to the word
 //     invalidates and forces a re-read, charged through the normal path.
+//     With the fast path, a spinning processor whose reads hit cache
+//     retires them inline — a cache hit is invisible to every other
+//     processor, so the engine never hears about it.
 //   - NUMA, word in another module: there is no cache to spin in, so the
 //     processor polls the remote module every PollInterval cycles; every
 //     poll is a remote reference. This is exactly why remote-spin

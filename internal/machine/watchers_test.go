@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"testing"
+)
+
+// The per-word watcher slots replaced a map[Addr][]*Proc: links are
+// stored intrusively (processor index + 1, zero-terminated) in
+// watchHead/watchTail plus one next pointer per Proc. These tests pin
+// the list discipline itself: FIFO wake order, correct consumption on
+// wake, and isolation between words.
+
+// TestWatcherListFIFOOrder parks three processors on one word and
+// checks they are woken — and granted — in registration order.
+func TestWatcherListFIFOOrder(t *testing.T) {
+	m, err := New(Config{Procs: 4, Model: Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flag := m.AllocShared(1)
+	slot := m.AllocShared(1)
+
+	var order []int
+	err = m.Run(func(p *Proc) {
+		if p.ID() < 3 {
+			// P0, P1, P2 start in id order (start events are scheduled in
+			// processor order at t=0) and park in that order.
+			p.SpinUntilEq(flag, 1)
+			order = append(order, p.ID())
+			p.FetchAdd(slot, 1)
+		} else {
+			// P3 releases all three with one write after letting them park.
+			p.Delay(100)
+			p.Store(flag, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("woke %d watchers, want 3", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("wake order %v, want FIFO [0 1 2]", order)
+		}
+	}
+}
+
+// TestWatcherListConsumedOnWake checks that a wake empties the word's
+// list and resets every link, so re-parking on the same word works and
+// a second write wakes again.
+func TestWatcherListConsumedOnWake(t *testing.T) {
+	m, err := New(Config{Procs: 2, Model: Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flag := m.AllocShared(1)
+	wakes := 0
+	err = m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.SpinUntilEq(flag, 1)
+			wakes++
+			p.SpinUntilEq(flag, 2)
+			wakes++
+		} else {
+			p.Delay(50)
+			p.Store(flag, 1)
+			p.Delay(50)
+			p.Store(flag, 2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 2 {
+		t.Fatalf("watcher woke %d times, want 2", wakes)
+	}
+	if m.watchHead[flag] != 0 || m.watchTail[flag] != 0 {
+		t.Fatalf("watch list not consumed: head=%d tail=%d", m.watchHead[flag], m.watchTail[flag])
+	}
+	for _, p := range m.procs {
+		if p.watchNext != 0 {
+			t.Fatalf("P%d watchNext=%d after run, want 0", p.id, p.watchNext)
+		}
+	}
+}
+
+// TestWatcherListPerWordIsolation parks two processors on different
+// words and writes only one of them: the other must stay parked (the
+// run deadlocks, naming the still-watching processor).
+func TestWatcherListPerWordIsolation(t *testing.T) {
+	m, err := New(Config{Procs: 3, Model: Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.AllocShared(1)
+	b := m.AllocShared(1)
+	err = m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.SpinUntilEq(a, 1)
+		case 1:
+			p.SpinUntilEq(b, 1) // never written: stays parked
+		case 2:
+			p.Delay(50)
+			p.Store(a, 1)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected deadlock: P1 watches a word nobody writes")
+	}
+	if got := err.Error(); !containsAll(got, "deadlock", "P1", "watch") {
+		t.Fatalf("deadlock error %q should name P1 watching", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -7,10 +7,17 @@
 // is what lets the machine model (internal/machine) count cycles and
 // interconnect transactions exactly, the way 1991-era synchronization
 // studies did on real hardware.
+//
+// The queue is a typed 4-ary min-heap of small value events — no
+// container/heap, no interface{} boxing, no per-event closure on the hot
+// path — so steady-state scheduling and stepping perform zero heap
+// allocations. Simulation layers (internal/machine) describe their events
+// with a typed payload (kind plus two int32 arguments, typically a
+// processor index and an address) consumed by a single installed Handler;
+// the closure form At/After remains for tests and one-off setup work.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -18,30 +25,38 @@ import (
 // Time is a point on the simulated clock, measured in cycles.
 type Time int64
 
-// Event is a closure scheduled to run at a virtual instant.
+// EventKind tags the payload of a typed event. Kinds are defined by the
+// simulation layer that installs the Handler; the engine only routes them.
+type EventKind uint8
+
+const (
+	// EvFunc is reserved for closure events scheduled via At/After.
+	EvFunc EventKind = iota
+	// EvDispatch resumes a parked processor; arg0 is the processor index.
+	EvDispatch
+)
+
+// Handler consumes typed events. A single handler is installed by the
+// owning simulation layer (SetHandler); it is called with the event's
+// kind and payload each time a typed event fires.
+type Handler func(kind EventKind, arg0, arg1 int32)
+
+// event is a queue entry. Typed events carry their whole payload by
+// value; fn is non-nil only for closure events, so pushing and popping
+// typed events never touches the garbage collector.
 type event struct {
 	when Time
 	seq  uint64 // tie-break: FIFO among same-instant events
+	kind EventKind
+	arg0 int32
+	arg1 int32
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// before reports whether a fires before b: earlier timestamp, or same
+// timestamp and earlier scheduling order.
+func (a *event) before(b *event) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
 }
 
 // ErrStepLimit is returned by Run when the configured maximum number of
@@ -53,10 +68,12 @@ var ErrStepLimit = errors.New("sim: event step limit exceeded (livelock?)")
 // The zero value is not usable; call NewEngine.
 type Engine struct {
 	now      Time
-	events   eventHeap
+	events   []event // 4-ary min-heap ordered by (when, seq)
 	seq      uint64
-	steps    uint64
+	steps    uint64 // events fired
+	work     uint64 // events fired + inline work charged via ChargeStep
 	maxSteps uint64
+	handler  Handler
 }
 
 // DefaultMaxSteps bounds runaway simulations. Each simulated memory
@@ -78,25 +95,66 @@ func (e *Engine) SetMaxSteps(n uint64) {
 	e.maxSteps = n
 }
 
+// SetHandler installs the consumer of typed events. Scheduling a typed
+// event without a handler is a programming error and panics at fire time.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Steps returns the number of events processed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
+// ChargeStep counts one unit of simulated work retired outside the
+// event loop (an inline fast-path operation in the machine layer)
+// toward the livelock budget, and reports whether the budget is about
+// to be exhausted. Callers that see true must fall back to scheduling
+// a real event — which is then the unit that gets charged, so no
+// operation is ever counted twice — and the engine's run loop surfaces
+// ErrStepLimit; without this, a livelocked program whose operations
+// all retire inline would spin the host forever.
+func (e *Engine) ChargeStep() bool {
+	if e.work+1 >= e.maxSteps {
+		return true
+	}
+	e.work++
+	return false
+}
+
+// Exhausted reports whether the livelock budget has been spent. External
+// drivers (the machine's baton-passing run loop steps the engine itself
+// rather than calling Run) use this to surface ErrStepLimit.
+func (e *Engine) Exhausted() bool { return e.work > e.maxSteps }
+
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error in the caller; the engine clamps it to "now" to preserve a
-// monotonic clock, which keeps bugs visible (time never runs backward)
-// without corrupting the heap invariant.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+// NextTime returns the timestamp of the earliest pending event and
+// whether one exists. This is what makes conservative lookahead possible
+// in the machine layer: an operation whose completion time precedes every
+// pending event can finish inline, because no other event could have
+// observed or perturbed it.
+func (e *Engine) NextTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
 	}
+	return e.events[0].when, true
+}
+
+// clamp keeps the clock monotonic: scheduling in the past is an error in
+// the caller, clamped to "now" so bugs stay visible (time never runs
+// backward) without corrupting the heap invariant.
+func (e *Engine) clamp(t Time) Time {
+	if t < e.now {
+		return e.now
+	}
+	return t
+}
+
+// At schedules fn to run at absolute time t.
+func (e *Engine) At(t Time, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+	e.push(event{when: e.clamp(t), seq: e.seq, kind: EvFunc, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -107,23 +165,66 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AtEvent schedules a typed event at absolute time t. This is the
+// allocation-free path: the payload travels by value through the heap.
+func (e *Engine) AtEvent(t Time, kind EventKind, arg0, arg1 int32) {
+	e.seq++
+	e.push(event{when: e.clamp(t), seq: e.seq, kind: kind, arg0: arg0, arg1: arg1})
+}
+
+// AfterEvent schedules a typed event d cycles from now.
+func (e *Engine) AfterEvent(d Time, kind EventKind, arg0, arg1 int32) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtEvent(e.now+d, kind, arg0, arg1)
+}
+
 // Step runs the single next event, advancing the clock to its timestamp.
 // It reports whether an event was available.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.when
 	e.steps++
-	ev.fn()
+	e.work++
+	if ev.fn != nil {
+		ev.fn()
+		return true
+	}
+	if e.handler == nil {
+		panic(fmt.Sprintf("sim: typed event kind=%d fired with no handler installed", ev.kind))
+	}
+	e.handler(ev.kind, ev.arg0, ev.arg1)
 	return true
+}
+
+// StepPayload pops the next event, advances the clock, and returns the
+// event's typed payload directly instead of routing it through the
+// installed Handler — the hot-path form of Step for external drive
+// loops (closure events still run in place and report kind EvFunc).
+// fired is false when the queue is empty.
+func (e *Engine) StepPayload() (kind EventKind, arg0, arg1 int32, fired bool) {
+	if len(e.events) == 0 {
+		return 0, 0, 0, false
+	}
+	ev := e.pop()
+	e.now = ev.when
+	e.steps++
+	e.work++
+	if ev.fn != nil {
+		ev.fn()
+		return EvFunc, 0, 0, true
+	}
+	return ev.kind, ev.arg0, ev.arg1, true
 }
 
 // Run processes events until the queue drains or the step limit trips.
 func (e *Engine) Run() error {
 	for e.Step() {
-		if e.steps > e.maxSteps {
+		if e.work > e.maxSteps {
 			return fmt.Errorf("%w after %d events at t=%d", ErrStepLimit, e.steps, e.now)
 		}
 	}
@@ -136,7 +237,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		if !e.Step() {
 			break
 		}
-		if e.steps > e.maxSteps {
+		if e.work > e.maxSteps {
 			return fmt.Errorf("%w after %d events at t=%d", ErrStepLimit, e.steps, e.now)
 		}
 	}
@@ -144,4 +245,72 @@ func (e *Engine) RunUntil(deadline Time) error {
 		e.now = deadline
 	}
 	return nil
+}
+
+// The heap is 4-ary: children of node i sit at 4i+1..4i+4. A wider node
+// halves the tree height relative to a binary heap, trading a few extra
+// comparisons per level for fewer cache-missing levels — the standard
+// layout for event queues whose entries are small values.
+const heapArity = 4
+
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	if h[n].fn != nil {
+		h[n].fn = nil // release the closure reference to the GC
+	}
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if h[parent].before(&ev) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		best := first
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if ev.before(&h[best]) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
 }

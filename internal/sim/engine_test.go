@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -174,6 +175,149 @@ func TestEngineOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEngineTypedEventsInterleaveWithClosures(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.SetHandler(func(kind EventKind, arg0, arg1 int32) {
+		if kind != EvDispatch {
+			t.Fatalf("handler saw kind %d, want EvDispatch", kind)
+		}
+		got = append(got, fmt.Sprintf("d%d.%d", arg0, arg1))
+	})
+	e.AtEvent(20, EvDispatch, 2, 7)
+	e.At(10, func() { got = append(got, "f10") })
+	e.AtEvent(10, EvDispatch, 1, 0) // same instant as f10, scheduled later
+	e.AfterEvent(5, EvDispatch, 0, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"d0.0", "f10", "d1.0", "d2.7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fire order %v, want %v", got, want)
+	}
+}
+
+func TestEngineStepPayload(t *testing.T) {
+	e := NewEngine()
+	ranFn := false
+	e.At(5, func() { ranFn = true })
+	e.AtEvent(10, EvDispatch, 3, 9)
+	kind, _, _, fired := e.StepPayload()
+	if !fired || kind != EvFunc || !ranFn {
+		t.Fatalf("first StepPayload = (%d, fired=%v), ranFn=%v; want closure event run in place", kind, fired, ranFn)
+	}
+	kind, a0, a1, fired := e.StepPayload()
+	if !fired || kind != EvDispatch || a0 != 3 || a1 != 9 {
+		t.Fatalf("second StepPayload = (%d, %d, %d, %v), want (EvDispatch, 3, 9, true)", kind, a0, a1, fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", e.Now())
+	}
+	if _, _, _, fired := e.StepPayload(); fired {
+		t.Fatal("StepPayload on empty queue reported an event")
+	}
+}
+
+func TestEngineNextTime(t *testing.T) {
+	e := NewEngine()
+	e.SetHandler(func(EventKind, int32, int32) {})
+	if _, ok := e.NextTime(); ok {
+		t.Fatal("NextTime on empty queue reported an event")
+	}
+	e.AtEvent(30, EvDispatch, 0, 0)
+	e.AtEvent(12, EvDispatch, 1, 0)
+	if next, ok := e.NextTime(); !ok || next != 12 {
+		t.Fatalf("NextTime = (%d, %v), want (12, true)", next, ok)
+	}
+	e.Step()
+	if next, ok := e.NextTime(); !ok || next != 30 {
+		t.Fatalf("NextTime after Step = (%d, %v), want (30, true)", next, ok)
+	}
+}
+
+func TestEngineChargeStepExhaustsBudget(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxSteps(10)
+	for i := 0; i < 9; i++ {
+		if e.ChargeStep() {
+			t.Fatalf("budget exhausted after %d charges, limit is 10", i+1)
+		}
+	}
+	if !e.ChargeStep() {
+		t.Fatal("10th charge should refuse: the budget boundary belongs to a real event")
+	}
+	// A refused charge falls back to a real event, which is the unit
+	// that gets counted — exactly once. The op on the boundary itself
+	// is still within budget; the one after it trips Exhausted, so a
+	// program doing exactly maxSteps units of work never sees a
+	// spurious ErrStepLimit.
+	e.SetHandler(func(EventKind, int32, int32) {})
+	e.AtEvent(1, EvDispatch, 0, 0)
+	e.Step()
+	if e.Exhausted() {
+		t.Fatal("work == maxSteps is within budget")
+	}
+	if !e.ChargeStep() {
+		t.Fatal("charge past the boundary should refuse")
+	}
+	e.AtEvent(2, EvDispatch, 0, 0)
+	e.Step()
+	if !e.Exhausted() {
+		t.Fatal("Exhausted should report true past the budget")
+	}
+}
+
+func TestEngineTypedEventWithoutHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	e.AtEvent(1, EvDispatch, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("firing a typed event with no handler should panic")
+		}
+	}()
+	e.Step()
+}
+
+// TestEngineHeapProperty drives a large random schedule through the
+// 4-ary heap and checks the (time, seq) fire order — the heap-shape
+// analog of TestEngineOrderProperty, at a size that exercises multi-level
+// sifts in both directions.
+func TestEngineHeapProperty(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(99)
+	const n = 5000
+	type rec struct {
+		when Time
+		seq  int
+	}
+	var got []rec
+	e.SetHandler(func(_ EventKind, arg0, _ int32) {
+		got = append(got, rec{e.Now(), int(arg0)})
+	})
+	for i := 0; i < n; i++ {
+		e.AtEvent(Time(r.Intn(500)), EvDispatch, int32(i), 0)
+	}
+	// Interleave pops and pushes to exercise steady-state churn.
+	for i := 0; i < n/2; i++ {
+		e.Step()
+		e.AtEvent(e.Now()+Time(r.Intn(200)), EvDispatch, int32(n+i), 0)
+	}
+	for e.Step() {
+	}
+	if len(got) != n+n/2 {
+		t.Fatalf("fired %d events, want %d", len(got), n+n/2)
+	}
+	sorted := sort.SliceIsSorted(got, func(i, j int) bool {
+		if got[i].when != got[j].when {
+			return got[i].when < got[j].when
+		}
+		return got[i].seq < got[j].seq
+	})
+	if !sorted {
+		t.Fatal("heap fired events out of (time, seq) order")
 	}
 }
 

@@ -1,0 +1,139 @@
+package simsync
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Determinism regression: every simulated family, run twice with the
+// same seed on both machine models at 8 processors, must produce
+// bit-identical Stats — cycles, traffic, and every per-processor
+// counter. This is the guardrail for the processor-side fast path: an
+// operation may only retire inline when doing so is invisible to every
+// other processor, so any divergence between two runs (or any
+// dependence on host scheduling) is a bug in that reasoning, not noise.
+
+func modelsUnderTest() []machine.Model {
+	return []machine.Model{machine.Bus, machine.NUMA}
+}
+
+// assertIdentical runs measure twice and compares the full Stats
+// structure except the host-side efficiency fields (Events and
+// InlineOps are also compared: the fast-path decisions themselves are
+// deterministic functions of the simulation state).
+func assertIdentical(t *testing.T, name string, measure func() (machine.Stats, error)) {
+	t.Helper()
+	a, err := measure()
+	if err != nil {
+		t.Fatalf("%s: first run: %v", name, err)
+	}
+	b, err := measure()
+	if err != nil {
+		t.Fatalf("%s: second run: %v", name, err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: runs diverged:\n  first:  %+v\n  second: %+v", name, a, b)
+	}
+	if a.Cycles == 0 {
+		t.Errorf("%s: run did no simulated work", name)
+	}
+}
+
+func TestDeterminismLocks(t *testing.T) {
+	for _, model := range modelsUnderTest() {
+		for _, info := range Locks() {
+			info := info
+			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+				res, err := RunLock(
+					machine.Config{Procs: 8, Model: model, Seed: 7},
+					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
+				return res.Stats, err
+			})
+		}
+	}
+}
+
+func TestDeterminismBarriers(t *testing.T) {
+	for _, model := range modelsUnderTest() {
+		for _, info := range Barriers() {
+			info := info
+			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+				res, err := RunBarrier(
+					machine.Config{Procs: 8, Model: model, Seed: 7},
+					info, BarrierOpts{Episodes: 10, Work: 150})
+				return res.Stats, err
+			})
+		}
+	}
+}
+
+func TestDeterminismRWLocks(t *testing.T) {
+	for _, model := range modelsUnderTest() {
+		for _, info := range RWLocks() {
+			info := info
+			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+				res, err := RunRW(
+					machine.Config{Procs: 8, Model: model, Seed: 7},
+					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
+				return res.Stats, err
+			})
+		}
+	}
+}
+
+func TestDeterminismSemaphores(t *testing.T) {
+	for _, model := range modelsUnderTest() {
+		for _, info := range Semaphores() {
+			info := info
+			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+				res, err := RunProducerConsumer(
+					machine.Config{Procs: 8, Model: model, Seed: 7},
+					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
+				return res.Stats, err
+			})
+		}
+	}
+}
+
+func TestDeterminismCounters(t *testing.T) {
+	for _, model := range modelsUnderTest() {
+		for _, info := range Counters() {
+			info := info
+			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+				res, err := RunCounter(
+					machine.Config{Procs: 8, Model: model, Seed: 7},
+					info, CounterOpts{Incs: 30, Think: 20})
+				return res.Stats, err
+			})
+		}
+	}
+}
+
+// TestFastPathEngages pins down that the fast path actually fires: a
+// single-processor run has an empty event queue almost throughout, so
+// nearly every operation must retire inline rather than through the
+// engine. Without this, a regression that silently disabled inlining
+// would keep every result correct while giving all the performance back.
+func TestFastPathEngages(t *testing.T) {
+	info, ok := LockByName("tas")
+	if !ok {
+		t.Fatal("tas lock missing")
+	}
+	res, err := RunLock(
+		machine.Config{Procs: 1, Model: machine.Bus, Seed: 1},
+		info, LockOpts{Iters: 50, CS: 25, Think: 50, CheckMutex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	ops := st.Loads + st.Stores + st.RMWs
+	if st.InlineOps == 0 {
+		t.Fatalf("no operations retired inline (ops=%d, events=%d)", ops, st.Events)
+	}
+	if st.InlineOps*10 < ops*9 {
+		t.Errorf("uncontended run should retire ~all ops inline: inline=%d of %d ops (events=%d)",
+			st.InlineOps, ops, st.Events)
+	}
+}
