@@ -123,6 +123,43 @@ func BenchmarkMachineSpinContended(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineSpinBatched — the same contended spin storms as
+// BenchmarkMachineSpinContended, but in the pooled configuration the
+// sweeps actually run: each iteration resets a recycled machine instead
+// of constructing one, so the allocation report shows the steady-state
+// cell cost (near zero) and simops/s the batched engine's throughput
+// with construction amortized away. The simulated results are
+// bit-identical between the two benchmarks — only host cost differs.
+func BenchmarkMachineSpinBatched(b *testing.B) {
+	for _, name := range []string{"tas", "ttas", "tas-bo"} {
+		info, ok := simsync.LockByName(name)
+		if !ok {
+			b.Fatalf("unknown lock %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			pool := new(machine.Pool)
+			var ops, acqs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := simsync.RunLockIn(pool,
+					machine.Config{Procs: 8, Model: machine.Bus, Seed: uint64(i + 1),
+						SharedWords: 1 << 12, LocalWords: 1 << 8},
+					info,
+					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := res.Stats
+				ops += st.Loads + st.Stores + st.RMWs
+				acqs += res.Acquisitions
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+		})
+	}
+}
+
 // BenchmarkT1 — uncontended latency, simulated bus machine.
 func BenchmarkT1_Uncontended(b *testing.B) {
 	for _, li := range simsync.Locks() {

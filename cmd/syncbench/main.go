@@ -10,6 +10,8 @@
 //	syncbench -all -csv results/   # also write one CSV per table
 //	syncbench -all -algos=tas,qsync  # restrict sweeps to named algorithms
 //	syncbench -shardedjson BENCH_sharded.json  # real-runtime ops/sec snapshot
+//	syncbench -simjson BENCH_sim.json -simlabel "engine milestone"
+//	                               # merge a dated snapshot into the trajectory
 package main
 
 import (
@@ -39,18 +41,19 @@ func main() {
 // flush on every exit path, including errors.
 func run() int {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		runIDs  = flag.String("run", "", "comma-separated table ids to regenerate (e.g. F2,T3)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "small sweeps (seconds instead of minutes)")
-		csvDir  = flag.String("csv", "", "directory to write one CSV per table")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		algos   = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
-		benchJS = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
-		simJS   = flag.String("simjson", "", "write a machine-readable simulator-throughput snapshot (e.g. BENCH_sim.json)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		verbose = flag.Bool("v", false, "print per-sweep-point progress")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		runIDs   = flag.String("run", "", "comma-separated table ids to regenerate (e.g. F2,T3)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "small sweeps (seconds instead of minutes)")
+		csvDir   = flag.String("csv", "", "directory to write one CSV per table")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		algos    = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
+		benchJS  = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
+		simJS    = flag.String("simjson", "", "merge a dated simulator-throughput snapshot into this trajectory file (e.g. BENCH_sim.json); earlier snapshots are preserved")
+		simLabel = flag.String("simlabel", "", "optional label recorded on the -simjson snapshot")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		verbose  = flag.Bool("v", false, "print per-sweep-point progress")
 	)
 	flag.Parse()
 
@@ -75,6 +78,10 @@ func run() int {
 				return
 			}
 			defer f.Close()
+			// The heap profile reflects the most recently completed GC
+			// cycle, so force one first: without it the snapshot shows
+			// whatever the last incidental GC saw — including since-freed
+			// sweep machinery — instead of what is actually live on exit.
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "syncbench:", err)
@@ -112,7 +119,7 @@ func run() int {
 		fmt.Printf("wrote %s\n", *benchJS)
 	}
 	if *simJS != "" {
-		if err := writeSimBench(*simJS, *quick); err != nil {
+		if err := writeSimBench(*simJS, *quick, *simLabel); err != nil {
 			fmt.Fprintln(os.Stderr, "syncbench:", err)
 			return 1
 		}
@@ -138,8 +145,8 @@ func run() int {
 	return 0
 }
 
-// simBenchResult is one line of the BENCH_sim.json trajectory file:
-// host-side throughput of the simulator on one fixed contended workload.
+// simBenchResult is one line of a BENCH_sim.json snapshot: host-side
+// throughput of the simulator on one fixed contended workload.
 type simBenchResult struct {
 	Workload      string  `json:"workload"`
 	Model         string  `json:"model"`
@@ -149,29 +156,85 @@ type simBenchResult struct {
 	InlineOpsFrac float64 `json:"inline_ops_frac"` // fraction of ops retired on the fast path
 }
 
-// simBenchFile is the whole simulator-throughput snapshot; future PRs
-// diff these to track the host-efficiency trajectory of the event
-// engine and machine hot path.
+// simBenchSnapshot is one dated measurement of the whole battery.
+type simBenchSnapshot struct {
+	Date    string           `json:"date"`
+	Label   string           `json:"label,omitempty"`
+	Quick   bool             `json:"quick"`
+	Results []simBenchResult `json:"results"`
+}
+
+// simBenchFile is the simulator-throughput trajectory: one snapshot per
+// engine-improvement milestone, so the host-efficiency history of the
+// event engine and machine hot path reads directly from the file.
+// Legacy single-snapshot files (top-level "results") are converted to a
+// one-entry trajectory on load.
 type simBenchFile struct {
-	Experiment string           `json:"experiment"`
-	Quick      bool             `json:"quick"`
-	Results    []simBenchResult `json:"results"`
+	Experiment string             `json:"experiment"`
+	Snapshots  []simBenchSnapshot `json:"snapshots"`
+
+	// Legacy single-snapshot fields, for reading files written before
+	// the trajectory format.
+	Quick   bool             `json:"quick,omitempty"`
+	Results []simBenchResult `json:"results,omitempty"`
+}
+
+// loadSimBench reads an existing trajectory file, converting the legacy
+// single-snapshot layout. A missing file yields an empty trajectory.
+func loadSimBench(path string) (simBenchFile, error) {
+	var f simBenchFile
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("simjson: %s: %w", path, err)
+	}
+	if len(f.Snapshots) == 0 && len(f.Results) > 0 {
+		f.Snapshots = []simBenchSnapshot{{
+			Label: "converted legacy snapshot", Quick: f.Quick, Results: f.Results,
+		}}
+	}
+	f.Quick = false
+	f.Results = nil
+	return f, nil
+}
+
+// mergeSimSnapshot appends snap to the trajectory, replacing an existing
+// snapshot with the same date, label, and mode (re-running the same
+// measurement updates its entry instead of duplicating it, while
+// distinct milestones measured the same day stay separate).
+func mergeSimSnapshot(f simBenchFile, snap simBenchSnapshot) simBenchFile {
+	for i, s := range f.Snapshots {
+		if s.Date == snap.Date && s.Label == snap.Label && s.Quick == snap.Quick {
+			f.Snapshots[i] = snap
+			return f
+		}
+	}
+	f.Snapshots = append(f.Snapshots, snap)
+	return f
 }
 
 // writeSimBench measures host-side simulator throughput — simulated
 // memory operations and engine events per host second — over a fixed
-// battery of contended workloads, and writes the snapshot as JSON. The
-// simulated results of these runs are deterministic; only the host
-// throughput varies between machines.
-func writeSimBench(path string, quick bool) error {
+// battery of contended workloads, and merges the dated snapshot into
+// the trajectory file at path (earlier snapshots are preserved, so the
+// file accumulates the engine's perf history). The simulated results of
+// these runs are deterministic; only the host throughput varies between
+// machines.
+func writeSimBench(path string, quick bool, label string) error {
 	iters := 200
 	reps := 20
 	if quick {
 		iters, reps = 40, 3
 	}
-	out := simBenchFile{
-		Experiment: "simulator hot-path throughput (host ops/sec, contended workloads)",
-		Quick:      quick,
+	snap := simBenchSnapshot{
+		Date:  time.Now().Format("2006-01-02"),
+		Label: label,
+		Quick: quick,
 	}
 	battery := []struct {
 		lock  string
@@ -184,6 +247,7 @@ func writeSimBench(path string, quick bool) error {
 		{"qsync", machine.Bus, 8},
 		{"qsync", machine.NUMA, 16},
 	}
+	pool := new(machine.Pool)
 	for _, bc := range battery {
 		info, ok := simsync.LockByName(bc.lock)
 		if !ok {
@@ -192,7 +256,7 @@ func writeSimBench(path string, quick bool) error {
 		var ops, events, inline uint64
 		start := time.Now()
 		for r := 0; r < reps; r++ {
-			res, err := simsync.RunLock(
+			res, err := simsync.RunLockIn(pool,
 				machine.Config{Procs: bc.procs, Model: bc.model, Seed: uint64(r + 1),
 					SharedWords: 1 << 12, LocalWords: 1 << 8},
 				info,
@@ -215,9 +279,15 @@ func writeSimBench(path string, quick bool) error {
 		if ops > 0 {
 			res.InlineOpsFrac = float64(inline) / float64(ops)
 		}
-		out.Results = append(out.Results, res)
+		snap.Results = append(snap.Results, res)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	f, err := loadSimBench(path)
+	if err != nil {
+		return err
+	}
+	f.Experiment = "simulator hot-path throughput (host ops/sec, contended workloads)"
+	f = mergeSimSnapshot(f, snap)
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -simjson flag must accumulate a trajectory: new snapshots merge
+// into the existing file instead of overwriting it, and files written
+// in the pre-trajectory single-snapshot layout convert on load.
+
+func TestLoadSimBenchConvertsLegacyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sim.json")
+	legacy := `{
+  "experiment": "simulator hot-path throughput",
+  "quick": false,
+  "results": [
+    {"workload": "lock/tas", "model": "bus", "procs": 8,
+     "sim_ops_per_sec": 1000, "events_per_sec": 900, "inline_ops_frac": 0.1}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := loadSimBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Snapshots) != 1 {
+		t.Fatalf("converted %d snapshots, want 1", len(f.Snapshots))
+	}
+	s := f.Snapshots[0]
+	if len(s.Results) != 1 || s.Results[0].Workload != "lock/tas" || s.Results[0].SimOpsPerSec != 1000 {
+		t.Fatalf("legacy results not preserved: %+v", s)
+	}
+	if f.Results != nil {
+		t.Fatal("legacy fields should be cleared after conversion")
+	}
+}
+
+func TestLoadSimBenchMissingFile(t *testing.T) {
+	f, err := loadSimBench(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing file should yield an empty trajectory, got %v", err)
+	}
+	if len(f.Snapshots) != 0 {
+		t.Fatalf("expected empty trajectory, got %d snapshots", len(f.Snapshots))
+	}
+}
+
+func TestMergeSimSnapshotAppendsAndReplaces(t *testing.T) {
+	base := simBenchSnapshot{Date: "2026-07-01", Label: "baseline", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 1}}}
+	var f simBenchFile
+	f = mergeSimSnapshot(f, base)
+	// A different label on the same date is a distinct milestone: append.
+	next := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 3}}}
+	f = mergeSimSnapshot(f, next)
+	if len(f.Snapshots) != 2 {
+		t.Fatalf("distinct labels should append: got %d snapshots", len(f.Snapshots))
+	}
+	// Re-running the same (date, label, quick) measurement replaces it.
+	rerun := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 4}}}
+	f = mergeSimSnapshot(f, rerun)
+	if len(f.Snapshots) != 2 {
+		t.Fatalf("rerun should replace, not append: got %d snapshots", len(f.Snapshots))
+	}
+	if got := f.Snapshots[1].Results[0].SimOpsPerSec; got != 4 {
+		t.Fatalf("rerun did not replace the matching snapshot: %v", got)
+	}
+	// Quick and full runs of the same day/label stay separate.
+	quick := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Quick: true}
+	f = mergeSimSnapshot(f, quick)
+	if len(f.Snapshots) != 3 {
+		t.Fatalf("quick snapshot should not replace the full one: got %d", len(f.Snapshots))
+	}
+}

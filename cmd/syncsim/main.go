@@ -72,6 +72,9 @@ func main() {
 				return
 			}
 			defer f.Close()
+			// Heap profiles report the state at the last completed GC;
+			// run one so the snapshot is of live data at exit, not of a
+			// stale mid-run cycle.
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "syncsim:", err)

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simsync"
+)
+
+// Machine pooling exists so that a sweep's steady-state cell cost is
+// the simulation itself, not allocation: a fresh 8-processor machine is
+// megabytes of simulated memory plus watcher and coherence arrays,
+// while a pooled cell only pays the algorithm's own small bookkeeping
+// (lock records, result slices, goroutine stacks). This test pins that
+// property with a hard budget; a regression that quietly reintroduces
+// per-cell machine construction blows the budget by orders of
+// magnitude.
+func TestPooledCellAllocationBudget(t *testing.T) {
+	info, ok := simsync.LockByName("tas")
+	if !ok {
+		t.Fatal("tas lock missing")
+	}
+	cfg := machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}
+	opts := simsync.LockOpts{Iters: 10, CS: 25, Think: 50, CheckMutex: true}
+
+	pool := new(machine.Pool)
+	cell := func() {
+		if _, err := simsync.RunLockIn(pool, cfg, info, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cell() // warm the pool: the first cell constructs the machine
+
+	// Measured steady state is ~17 objects/run (result slices, lock
+	// records, goroutine bookkeeping); a fresh machine costs ~3.5x that
+	// in objects and megabytes in bytes. The budget leaves headroom for
+	// runtime noise while catching any return to per-cell construction.
+	const budget = 48
+	avg := testing.AllocsPerRun(20, cell)
+	if avg > budget {
+		t.Fatalf("pooled sweep cell allocates %.0f objects/run, budget %d", avg, budget)
+	}
+
+	// Cross-check that the budget is meaningful: an unpooled cell must
+	// cost strictly more than a pooled one.
+	unpooled := testing.AllocsPerRun(5, func() {
+		if _, err := simsync.RunLock(cfg, info, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if unpooled <= avg {
+		t.Fatalf("unpooled cell (%.0f allocs) not dearer than pooled (%.0f) — pool no longer reuses machines?", unpooled, avg)
+	}
+}

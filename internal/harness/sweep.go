@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/locks"
+	"repro/internal/machine"
 	"repro/internal/registry"
 	"repro/internal/simsync"
 )
@@ -78,17 +79,19 @@ type metricSpec struct {
 
 // runMatrix is the shared sweep driver: one row per axis value, one
 // column per algorithm, one emitted table per metric. measure returns
-// one value per metric for a single (axis point, algorithm) cell.
+// one value per metric for a single (axis point, algorithm) cell,
+// drawing any machine it needs from the per-worker pool it is handed.
 //
 // Simulated sweeps run their cells concurrently across host cores —
-// each cell builds its own deterministic Machine, so the numbers are
-// bit-identical to a sequential run and only wall-clock changes; the
-// tables are assembled in canonical (axis-major) order afterwards.
-// Real-runtime sweeps must instead pass parallel=false: their cells
-// measure host time and would perturb each other.
+// each cell resets its own deterministic Machine from its worker's
+// pool, so the numbers are bit-identical to a sequential unpooled run
+// and only wall-clock (and allocation) changes; the tables are
+// assembled in canonical (axis-major) order afterwards. Real-runtime
+// sweeps must instead pass parallel=false: their cells measure host
+// time and would perturb each other (they ignore the pool).
 func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel string,
 	axis []string, metrics []metricSpec,
-	measure func(ai int, algo A) ([]float64, error)) ([]Table, error) {
+	measure func(ai int, algo A, pool *machine.Pool) ([]float64, error)) ([]Table, error) {
 
 	tables := make([]Table, len(metrics))
 	for mi, ms := range metrics {
@@ -105,11 +108,11 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 	for ai := range results {
 		results[ai] = make([][]float64, len(algos))
 	}
-	err := forEachCell(parallel, len(axis)*len(algos), func(cell int) error {
+	err := forEachCell(parallel, len(axis)*len(algos), func(cell int, pool *machine.Pool) error {
 		// Axis-major assignment keeps the single-worker order identical
 		// to the historical sequential sweep.
 		ai, aj := cell/len(algos), cell%len(algos)
-		vals, merr := measure(ai, algos[aj])
+		vals, merr := measure(ai, algos[aj], pool)
 		if merr != nil {
 			return merr
 		}
@@ -144,7 +147,12 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 // cost a full sweep's wall-clock. With parallel unset, cells run
 // sequentially in index order on the calling goroutine — the mode for
 // real-runtime measurements.
-func forEachCell(parallel bool, total int, fn func(i int) error) error {
+//
+// Each worker owns a machine.Pool handed to every cell it runs, so a
+// worker's cells reuse one simulated machine (reset per cell) instead
+// of allocating megabytes of simulated memory each. Pools are
+// per-worker precisely because they are not concurrency-safe.
+func forEachCell(parallel bool, total int, fn func(i int, pool *machine.Pool) error) error {
 	var (
 		firstErr error
 		errMu    sync.Mutex
@@ -166,8 +174,9 @@ func forEachCell(parallel bool, total int, fn func(i int) error) error {
 		}
 	}
 	if workers <= 1 {
+		pool := new(machine.Pool)
 		for i := 0; i < total; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(i, pool); err != nil {
 				return err
 			}
 		}
@@ -181,12 +190,13 @@ func forEachCell(parallel bool, total int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool := new(machine.Pool)
 			for !failed.Load() {
 				cell := int(atomic.AddInt64(&next, 1))
 				if cell >= total {
 					return
 				}
-				if err := fn(cell); err != nil {
+				if err := fn(cell, pool); err != nil {
 					record(err)
 					return
 				}

@@ -12,9 +12,9 @@ func barrierSweep(o Options, model machine.Model, procsList []int, perProc bool,
 	return runMatrix(true, algosFor(o, simsync.BarrierSet),
 		func(bi simsync.BarrierInfo) string { return bi.Name },
 		"P", intAxis(procsList), []metricSpec{ms},
-		func(ai int, bi simsync.BarrierInfo) ([]float64, error) {
+		func(ai int, bi simsync.BarrierInfo, pool *machine.Pool) ([]float64, error) {
 			p := procsList[ai]
-			res, err := simsync.RunBarrier(
+			res, err := simsync.RunBarrierIn(pool,
 				machine.Config{Procs: p, Model: model, Seed: o.seed()},
 				bi, simsync.BarrierOpts{Episodes: o.episodes(), Work: 150},
 			)

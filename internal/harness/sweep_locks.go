@@ -58,9 +58,9 @@ func lockSweep(o Options, model machine.Model, procsList []int, metrics []metric
 	}
 	tables, err = runMatrix(true, infos, func(li simsync.LockInfo) string { return li.Name },
 		"P", intAxis(procsList), metrics,
-		func(ai int, li simsync.LockInfo) ([]float64, error) {
+		func(ai int, li simsync.LockInfo, pool *machine.Pool) ([]float64, error) {
 			p := procsList[ai]
-			res, rerr := simsync.RunLock(
+			res, rerr := simsync.RunLockIn(pool,
 				machine.Config{Procs: p, Model: model, Seed: o.seed()},
 				li, simLockOpts(o.lockIters()),
 			)
@@ -146,6 +146,7 @@ func runF5(o Options) ([]Table, error) {
 	}
 	bases := []sim.Time{4, 16, 64, 256}
 	caps := []sim.Time{256, 2048, 16384}
+	pool := new(machine.Pool)
 	for _, base := range bases {
 		for _, cap := range caps {
 			base, cap := base, cap
@@ -155,7 +156,7 @@ func runF5(o Options) ([]Table, error) {
 					return simsync.NewTASBackoffParams(m, simsync.BackoffParams{Base: base, Cap: cap})
 				},
 			}
-			res, err := simsync.RunLock(
+			res, err := simsync.RunLockIn(pool,
 				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
 				info, simLockOpts(o.lockIters()),
 			)
@@ -166,7 +167,7 @@ func runF5(o Options) ([]Table, error) {
 		}
 	}
 	qs, _ := simsync.LockByName("qsync")
-	res, err := simsync.RunLock(
+	res, err := simsync.RunLockIn(pool,
 		machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
 		qs, simLockOpts(o.lockIters()),
 	)
@@ -197,10 +198,10 @@ func runF6(o Options) ([]Table, error) {
 		[]metricSpec{{ID: "F6",
 			Title: fmt.Sprintf("Cycles per critical section vs CS length at P=%d (bus)", p),
 			Note:  "lock overhead differences wash out as the critical section grows; columns converge"}},
-		func(ai int, li simsync.LockInfo) ([]float64, error) {
+		func(ai int, li simsync.LockInfo, pool *machine.Pool) ([]float64, error) {
 			cs := lengths[ai]
 			opts := simsync.LockOpts{Iters: o.lockIters(), CS: cs, Think: 2 * cs, CheckMutex: true}
-			res, err := simsync.RunLock(
+			res, err := simsync.RunLockIn(pool,
 				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
 				li, opts,
 			)
@@ -232,7 +233,7 @@ func runF11(o Options) ([]Table, error) {
 		[]metricSpec{{ID: "F11",
 			Title: "ns per acquire/release pair vs goroutines (real runtime)",
 			Note:  "same qualitative ordering as F1; absolute values are Go-runtime specific"}},
-		func(ai int, li locks.Info) ([]float64, error) {
+		func(ai int, li locks.Info, _ *machine.Pool) ([]float64, error) {
 			g := gs[ai]
 			res, ok := workload.RunCriticalSections(li.New(g), workload.CSOpts{
 				Goroutines: g, Iters: iters / g, CSWork: 20, ThinkWork: 40,
@@ -298,8 +299,8 @@ func runT3(o Options) ([]Table, error) {
 	}
 	infos := algosFor(o, simsync.LockSet)
 	results := make([]simsync.LockResult, len(infos))
-	err := forEachCell(true, len(infos), func(cell int) error {
-		res, rerr := simsync.RunLock(
+	err := forEachCell(true, len(infos), func(cell int, pool *machine.Pool) error {
+		res, rerr := simsync.RunLockIn(pool,
 			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
 			infos[cell], simsync.LockOpts{Duration: duration, CS: 25, Think: 50, CheckMutex: true, RecordOrder: true},
 		)
@@ -371,9 +372,9 @@ func runA1(o Options) ([]Table, error) {
 	}
 	locksUnder := []simsync.LockInfo{tas, qs}
 	results := make([]simsync.LockResult, len(points)*len(locksUnder))
-	err := forEachCell(true, len(results), func(cell int) error {
+	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, li := cell/len(locksUnder), cell%len(locksUnder)
-		res, rerr := simsync.RunLock(points[pi].cfg, locksUnder[li], simLockOpts(o.lockIters()))
+		res, rerr := simsync.RunLockIn(pool, points[pi].cfg, locksUnder[li], simLockOpts(o.lockIters()))
 		if rerr != nil {
 			return rerr
 		}

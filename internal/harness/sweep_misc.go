@@ -36,9 +36,9 @@ func runF15(o Options) ([]Table, error) {
 		Cols:  []string{"P", "fetch&add", "combining", "fa/combining"},
 	}
 	results := make([]simsync.CounterResult, len(procsList)*len(infos))
-	err = forEachCell(true, len(results), func(cell int) error {
+	err = forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, ii := cell/len(infos), cell%len(infos)
-		res, rerr := simsync.RunCounter(
+		res, rerr := simsync.RunCounterIn(pool,
 			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
 			infos[ii],
 			simsync.CounterOpts{Incs: incs},
@@ -103,9 +103,9 @@ func runF16(o Options) ([]Table, error) {
 		Cols:  cols,
 	}
 	results := make([]simsync.CounterResult, len(procsList)*len(infos))
-	err := forEachCell(true, len(results), func(cell int) error {
+	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, ii := cell/len(infos), cell%len(infos)
-		res, rerr := simsync.RunCounter(
+		res, rerr := simsync.RunCounterIn(pool,
 			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
 			infos[ii],
 			simsync.CounterOpts{Incs: incs},

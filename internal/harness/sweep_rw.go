@@ -38,7 +38,7 @@ func runF9(o Options) ([]Table, error) {
 		[]metricSpec{{ID: "F9",
 			Title: fmt.Sprintf("Reader-writer throughput vs read fraction (%d goroutines, real runtime)", gor),
 			Note:  "rw locks overtake the plain mutex as the read fraction approaches 1; the sharded lock pulls ahead at high read fractions and pays for it on writes"}},
-		func(ai int, info locks.RWInfo) ([]float64, error) {
+		func(ai int, info locks.RWInfo, _ *machine.Pool) ([]float64, error) {
 			res, ok := workload.RunReadMix(info.New(gor), workload.RWOpts{
 				Goroutines: gor, Iters: iters, ReadFraction: fracs[ai], Work: 300,
 			})
@@ -73,9 +73,9 @@ func runF13(o Options) ([]Table, error) {
 	}
 	fracs := []float64{0, 0.5, 0.9, 1}
 	results := make([]simsync.RWResult, len(fracs)*len(infos))
-	err := forEachCell(true, len(results), func(cell int) error {
+	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		fi, ii := cell/len(infos), cell%len(infos)
-		res, rerr := simsync.RunRW(
+		res, rerr := simsync.RunRWIn(pool,
 			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
 			infos[ii],
 			simsync.RWOpts{Iters: iters, ReadFraction: fracs[fi], Work: 40, Think: 60},

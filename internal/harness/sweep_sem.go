@@ -74,10 +74,10 @@ func runF14(o Options) ([]Table, error) {
 	models := []machine.Model{machine.Bus, machine.NUMA}
 	perRow := len(models) * len(infos)
 	results := make([]simsync.PCResult, len(procsList)*perRow)
-	err := forEachCell(true, len(results), func(cell int) error {
+	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, rest := cell/perRow, cell%perRow
 		model, info := models[rest/len(infos)], infos[rest%len(infos)]
-		res, rerr := simsync.RunProducerConsumer(
+		res, rerr := simsync.RunProducerConsumerIn(pool,
 			machine.Config{Procs: procsList[pi], Model: model, Seed: o.seed()},
 			info,
 			simsync.PCOpts{Items: items, Capacity: 4, Work: 20},

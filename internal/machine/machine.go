@@ -217,47 +217,105 @@ type Machine struct {
 
 // New builds a machine from cfg (zero fields defaulted).
 func New(cfg Config) (*Machine, error) {
-	cfg = cfg.Defaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	total := cfg.SharedWords + cfg.Procs*cfg.LocalWords
 	m := &Machine{
-		cfg:       cfg,
-		eng:       sim.NewEngine(),
-		rng:       sim.NewRNG(cfg.Seed),
-		mem:       make([]Word, total),
-		watchHead: make([]int32, total),
-		watchTail: make([]int32, total),
-		procs:     make([]*Proc, cfg.Procs),
-		nextLocal: func() []Addr {
-			cursors := make([]Addr, cfg.Procs)
-			for i := range cursors {
-				cursors[i] = Addr(cfg.SharedWords + i*cfg.LocalWords)
-			}
-			return cursors
-		}(),
+		eng:  sim.NewEngine(),
+		rng:  sim.NewRNG(1),
 		done: make(chan error, 1),
 	}
-	if cfg.MaxSteps != 0 {
-		m.eng.SetMaxSteps(cfg.MaxSteps)
-	}
-	if cfg.Model == Bus {
-		m.sharers = make([]uint64, total)
-		m.owner = make([]int16, total)
-	}
-	if cfg.Model == NUMA {
-		m.modFreeAt = make([]sim.Time, cfg.Procs)
-	}
-	for i := 0; i < cfg.Procs; i++ {
-		m.procs[i] = &Proc{
-			id:     i,
-			m:      m,
-			rng:    m.rng.Derive(uint64(i)),
-			resume: make(chan struct{}),
-		}
+	if err := m.Reset(cfg); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// Reset returns the machine to the state New(cfg) would produce while
+// reusing every allocation that still fits: the event heap, the memory
+// and watcher arrays, the coherence metadata, the processor structs and
+// their resume channels, and the per-processor RNGs (re-derived, so the
+// streams are bit-identical to a fresh machine's). Sweeps that run many
+// (configuration × algorithm) cells draw machines from a Pool and Reset
+// them instead of allocating a machine per cell, which makes the
+// steady-state cell cost allocation-free up to the algorithm's own
+// bookkeeping. Only the configured extent of each array is cleared, and
+// arrays grow monotonically with the largest configuration seen.
+func (m *Machine) Reset(cfg Config) error {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	total := cfg.SharedWords + cfg.Procs*cfg.LocalWords
+
+	m.eng.Reset()
+	m.eng.SetMaxSteps(cfg.MaxSteps) // zero restores the engine default
+	m.rng.Reseed(cfg.Seed)
+
+	m.mem = resetSlice(m.mem, total)
+	m.watchHead = resetSlice(m.watchHead, total)
+	m.watchTail = resetSlice(m.watchTail, total)
+	if cfg.Model == Bus {
+		m.sharers = resetSlice(m.sharers, total)
+		m.owner = resetSlice(m.owner, total)
+	}
+	if cfg.Model == NUMA {
+		m.modFreeAt = resetSlice(m.modFreeAt, cfg.Procs)
+	}
+	m.busFreeAt = 0
+
+	// Grow the processor set as needed; shrinking just reslices (the
+	// spare Proc structs stay in the backing array for later reuse).
+	m.procs = resizeKeep(m.procs, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		p := m.procs[i]
+		if p == nil {
+			p = &Proc{id: i, m: m, rng: new(sim.RNG), resume: make(chan struct{})}
+			m.procs[i] = p
+		}
+		m.rng.DeriveInto(uint64(i), p.rng)
+		p.localNow = 0
+		p.watchNext = 0
+		p.spin = spinState{}
+		p.finished = false
+		p.blockedOn = ""
+		p.blockedAddr = 0
+		p.stats = ProcStats{}
+	}
+	m.live = 0
+
+	m.nextShared = 0
+	m.nextLocal = resetSlice(m.nextLocal, cfg.Procs)
+	for i := range m.nextLocal {
+		m.nextLocal[i] = Addr(cfg.SharedWords + i*cfg.LocalWords)
+	}
+
+	m.stats = Stats{}
+	m.tearingDown = false
+	m.ran = false
+	m.progErr = nil
+	return nil
+}
+
+// resetSlice returns s resized to n elements, all zero, reusing the
+// backing array when it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeKeep returns s resized to n elements, preserving existing
+// values (grown slots are zero). Used for the processor set, whose
+// structs are reused across Resets.
+func resizeKeep[T any](s []T, n int) []T {
+	if cap(s) < n {
+		grown := make([]T, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
 }
 
 // Config returns the completed configuration.
@@ -432,10 +490,13 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 
 // drive steps the engine on the calling goroutine until an event
 // dispatches p (p resumes its program), handing the baton to any other
-// processor dispatched along the way. Closure events run in place. When
-// the queue drains or the work budget trips, drive signals termination
-// on m.done; a finished (or nil, for kickoff) p then returns so its
-// goroutine can exit, while a live p parks for teardown.
+// processor dispatched along the way. Closure events run in place, and
+// EvSpin events advance the target processor's spin state machine in
+// place — executing its probes without waking its goroutine — handing
+// the baton over only when a spin completes. When the queue drains or
+// the work budget trips, drive signals termination on m.done; a
+// finished (or nil, for kickoff) p then returns so its goroutine can
+// exit, while a live p parks for teardown.
 func (m *Machine) drive(p *Proc) {
 	for {
 		kind, arg0, _, fired := m.eng.StepPayload()
@@ -449,14 +510,27 @@ func (m *Machine) drive(p *Proc) {
 			m.parkOrExit(p)
 			return
 		}
-		if kind != sim.EvDispatch {
+		var q *Proc
+		switch kind {
+		case sim.EvDispatch:
+			q = m.procs[arg0]
+			if q.finished {
+				continue // stale wakeup for a processor that already returned
+			}
+			q.localNow = m.eng.Now()
+		case sim.EvSpin:
+			s := m.procs[arg0]
+			if s.finished {
+				continue
+			}
+			s.localNow = m.eng.Now()
+			if !m.spinAdvance(s) {
+				continue // still waiting: probes ran here, no handoff
+			}
+			q = s // spin satisfied: resume the program at s.localNow
+		default:
 			continue // closure event, already run in place
 		}
-		q := m.procs[arg0]
-		if q.finished {
-			continue // stale wakeup for a processor that already returned
-		}
-		q.localNow = m.eng.Now()
 		if q == p {
 			return // our own wakeup: keep running, no handoff at all
 		}
@@ -495,11 +569,13 @@ func (m *Machine) deadlockError() error {
 	return fmt.Errorf("machine: deadlock at t=%d with %d processors blocked: %s", m.eng.Now(), m.live, blocked)
 }
 
-// wakeWatchers schedules every processor watching addr to resume at the
-// given absolute time, in registration (FIFO) order. Spurious wakeups
-// are fine: SpinUntil rechecks. The intrusive list is consumed in place;
-// no allocation, no map churn. Links are processor index + 1 (zero =
-// end of list).
+// wakeWatchers schedules every processor watching addr to re-check at
+// the given absolute time, in registration (FIFO) order. Spurious
+// wakeups are fine: the spin machine rechecks. The intrusive list is
+// consumed in place; no allocation, no map churn. Links are processor
+// index + 1 (zero = end of list). Watchers in a machine-driven spin are
+// woken as EvSpin (the drive loop runs their re-check in place); any
+// other watcher gets a plain dispatch.
 func (m *Machine) wakeWatchers(a Addr, at sim.Time) {
 	link := m.watchHead[a]
 	if link == 0 {
@@ -509,7 +585,11 @@ func (m *Machine) wakeWatchers(a Addr, at sim.Time) {
 	m.watchTail[a] = 0
 	for link != 0 {
 		p := m.procs[link-1]
-		m.eng.AtEvent(at, sim.EvDispatch, link-1, int32(a))
+		kind := sim.EvDispatch
+		if p.spin.active {
+			kind = sim.EvSpin
+		}
+		m.eng.AtEvent(at, kind, link-1, int32(a))
 		link = p.watchNext
 		p.watchNext = 0
 	}

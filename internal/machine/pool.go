@@ -1,0 +1,39 @@
+package machine
+
+// Pool recycles machines across runs. A sweep worker owns one Pool and
+// serves every (configuration × algorithm) cell from it: Get resets a
+// cached machine to the requested configuration (bit-identical to a
+// fresh one — see Reset) instead of allocating megabytes of simulated
+// memory per cell, and Put returns the machine after the cell's
+// measurements are read.
+//
+// A Pool is not safe for concurrent use; parallel sweeps give each
+// worker its own.
+type Pool struct {
+	free []*Machine
+}
+
+// Get returns a machine configured per cfg, reusing a pooled machine
+// when one is available.
+func (pl *Pool) Get(cfg Config) (*Machine, error) {
+	if n := len(pl.free); n > 0 {
+		m := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		if err := m.Reset(cfg); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return New(cfg)
+}
+
+// Put returns a machine to the pool for later reuse. The machine must
+// not be used again by the caller; its simulated memory and statistics
+// remain readable only until the next Get.
+func (pl *Pool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	pl.free = append(pl.free, m)
+}

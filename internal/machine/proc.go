@@ -40,6 +40,10 @@ type Proc struct {
 	// Machine.watchHead) as processor index + 1; zero terminates.
 	watchNext int32
 
+	// spin is the machine-driven spin-wait state (see spin.go). It lives
+	// here by value so entering a wait never allocates.
+	spin spinState
+
 	finished    bool
 	blockedOn   string // static tag for deadlock reports; never formatted on the hot path
 	blockedAddr Addr   // address detail when blockedOn == "watch"
@@ -108,23 +112,6 @@ func (p *Proc) syncClock() {
 	}
 }
 
-// parkOnWatch registers this processor as a watcher of addr and yields
-// without scheduling a wakeup; only a write to addr (or teardown) resumes it.
-func (p *Proc) parkOnWatch(a Addr) {
-	p.blockedOn = "watch"
-	p.blockedAddr = a
-	link := int32(p.id) + 1
-	p.watchNext = 0
-	if tail := p.m.watchTail[a]; tail != 0 {
-		p.m.procs[tail-1].watchNext = link
-	} else {
-		p.m.watchHead[a] = link
-	}
-	p.m.watchTail[a] = link
-	p.m.drive(p)
-	p.blockedOn = ""
-}
-
 // Delay models local computation taking d cycles. A delay whose end
 // precedes every pending event retires inline; otherwise it yields,
 // preserving fairness of the event ordering exactly as before.
@@ -135,11 +122,29 @@ func (p *Proc) Delay(d sim.Time) {
 	p.complete(d, "delay")
 }
 
-// Load reads a word.
-func (p *Proc) Load(a Addr) Word {
+// loadIssue performs the issue half of a load — traffic accounting,
+// coherence/occupancy update, data read — and returns the value and the
+// operation latency. Load and the spin state machine share it so a
+// machine-driven probe is bit-identical to a goroutine-issued one.
+func (p *Proc) loadIssue(a Addr) (Word, sim.Time) {
 	p.stats.Loads++
 	lat := p.m.access(p, a, accRead)
-	v := p.m.mem[a]
+	return p.m.mem[a], lat
+}
+
+// tasIssue likewise performs the issue half of a test&set.
+func (p *Proc) tasIssue(a Addr) (Word, sim.Time) {
+	p.stats.RMWs++
+	lat := p.m.access(p, a, accRMW)
+	old := p.m.mem[a]
+	p.m.mem[a] = 1
+	p.m.wakeWatchers(a, p.localNow+lat)
+	return old, lat
+}
+
+// Load reads a word.
+func (p *Proc) Load(a Addr) Word {
+	v, lat := p.loadIssue(a)
 	p.complete(lat, "load")
 	return v
 }
@@ -155,11 +160,7 @@ func (p *Proc) Store(a Addr, v Word) {
 
 // TestAndSet atomically sets the word to 1 and returns its old value.
 func (p *Proc) TestAndSet(a Addr) Word {
-	p.stats.RMWs++
-	lat := p.m.access(p, a, accRMW)
-	old := p.m.mem[a]
-	p.m.mem[a] = 1
-	p.m.wakeWatchers(a, p.localNow+lat)
+	old, lat := p.tasIssue(a)
 	p.complete(lat, "test&set")
 	return old
 }
@@ -201,58 +202,7 @@ func (p *Proc) CompareAndSwap(a Addr, old, new Word) bool {
 	return ok
 }
 
-// SpinUntil blocks until pred holds for the word at a, returning the
-// satisfying value. The cost model depends on the machine:
-//
-//   - Bus/Ideal: the classic cached spin. The first read may miss; while
-//     the value is unchanged the spinner consumes no interconnect
-//     bandwidth (it spins in its own cache); each write to the word
-//     invalidates and forces a re-read, charged through the normal path.
-//     With the fast path, a spinning processor whose reads hit cache
-//     retires them inline — a cache hit is invisible to every other
-//     processor, so the engine never hears about it.
-//   - NUMA, word in another module: there is no cache to spin in, so the
-//     processor polls the remote module every PollInterval cycles; every
-//     poll is a remote reference. This is exactly why remote-spin
-//     algorithms melt Butterfly-class machines.
-//   - NUMA, word in this processor's module: local spin; watchers model
-//     the (free) local re-check and each wakeup pays one local access.
-func (p *Proc) SpinUntil(a Addr, pred func(Word) bool) Word {
-	remotePoll := p.m.cfg.Model == NUMA && p.m.home(a) != p.id
-	if remotePoll {
-		for {
-			v := p.Load(a)
-			if pred(v) {
-				return v
-			}
-			jitter := p.rng.Time(p.m.cfg.PollInterval/2 + 1)
-			p.Delay(p.m.cfg.PollInterval + jitter)
-		}
-	}
-	v := p.Load(a)
-	for !pred(v) {
-		// A write may have committed while our load was in flight (we
-		// were blocked paying its latency, so other processors ran). A
-		// real snooping cache would have observed that invalidation, so
-		// there is no lost wakeup in hardware; model the snoop by
-		// rechecking the committed value before parking and paying a
-		// normal re-read if it changed.
-		if pred(p.m.mem[a]) {
-			v = p.Load(a)
-			continue
-		}
-		p.parkOnWatch(a)
-		v = p.Load(a)
-	}
-	return v
-}
-
-// SpinWhileEq is shorthand for SpinUntil(a, v != sentinel).
-func (p *Proc) SpinWhileEq(a Addr, sentinel Word) Word {
-	return p.SpinUntil(a, func(v Word) bool { return v != sentinel })
-}
-
-// SpinUntilEq is shorthand for SpinUntil(a, v == want).
-func (p *Proc) SpinUntilEq(a Addr, want Word) Word {
-	return p.SpinUntil(a, func(v Word) bool { return v == want })
-}
+// The spin-wait API (SpinUntilPred, SpinUntilEq, SpinWhileEq, SpinTAS,
+// SpinTTAS) lives in spin.go: waits are machine-driven rather than
+// replayed by this goroutine, so a contended spin costs no baton
+// handoffs.

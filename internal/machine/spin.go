@@ -1,0 +1,408 @@
+package machine
+
+import (
+	"repro/internal/sim"
+)
+
+// This file is the engine-level spin-wait machinery. A spinning
+// processor used to replay its wait loop in its own goroutine: every
+// failed probe cost one engine event plus one baton handoff (a channel
+// send and a scheduler switch) to resume the goroutine, re-test, and
+// issue the next probe. Under a raw test&set storm — the paper's central
+// workload — almost every probe crosses a pending event, so the handoff
+// dominated host time (BENCH_sim.json: ~2.5% of lock/tas ops retired
+// inline).
+//
+// SpinTAS, SpinTTAS, SpinUntilPred (and the SpinUntil* wrappers) instead
+// park the goroutine once and hand the wait to a per-processor spin
+// state machine executed inside the drive loop. Each EvSpin event
+// advances the machine by exactly the operations the goroutine loop
+// would have performed at that moment — same side effects, same
+// scheduling calls, same livelock-budget charges, same RNG draws, in the
+// same order — so cycle counts, traffic counters, and the interleaving
+// of all processors are bit-identical to probe-by-probe execution (the
+// determinism regression tests in internal/simsync pin this). The only
+// difference is host-side: the goroutine is resumed once, when the wait
+// is over, instead of once per probe.
+//
+// On top of that, runs of failed probes whose schedule is deterministic
+// and draw-free (raw test&set, fixed backoff) are charged in closed
+// form: k probes collapse into O(1) counter arithmetic whenever the
+// probe period is constant and no pending event or budget boundary falls
+// inside the run (see spinBatchTAS).
+
+// PredOp selects the comparison a Pred applies.
+type PredOp uint8
+
+const (
+	// PredEq holds when the (masked) value equals Want.
+	PredEq PredOp = iota
+	// PredNe holds when the (masked) value differs from Want.
+	PredNe
+	// PredGt holds when the (masked) value exceeds Want.
+	PredGt
+)
+
+// Pred is a data-encoded spin predicate: it describes the wait condition
+// without a closure, so registering it in the per-processor spin state
+// allocates nothing. A zero Mask means "no mask" (compare the whole
+// word).
+type Pred struct {
+	Op   PredOp
+	Mask Word
+	Want Word
+}
+
+// Holds reports whether the predicate is satisfied by v.
+func (pr Pred) Holds(v Word) bool {
+	if pr.Mask != 0 {
+		v &= pr.Mask
+	}
+	switch pr.Op {
+	case PredNe:
+		return v != pr.Want
+	case PredGt:
+		return v > pr.Want
+	default:
+		return v == pr.Want
+	}
+}
+
+// Backoff describes the deterministic delay schedule between failed
+// test&set probes. The zero value means "retry immediately" (the raw
+// test&set storm). With Base > 0, each failed probe is followed by a
+// delay of cur, where cur starts at Base and doubles up to Cap;
+// Cap <= Base keeps the delay fixed. PropJitter additionally draws
+// RNG().Time(cur) on top of each delay (Anderson-style proportional
+// jitter).
+type Backoff struct {
+	Base       sim.Time
+	Cap        sim.Time
+	PropJitter bool
+}
+
+// Spin-wait kinds.
+const (
+	spinRead uint8 = iota // read probes: cached watch on Bus, polling on remote NUMA
+	spinTAS               // test&set probes with a Backoff schedule
+	spinTTAS              // read-spin until the predicate holds, then one test&set; repeat
+)
+
+// Spin state-machine phases. Each phase names the next operation to
+// perform; a phase boundary is exactly a resumption point of the
+// equivalent goroutine loop.
+const (
+	spReadIssue uint8 = iota // issue a charged load of addr
+	spReadJudge              // load completed: evaluate the predicate
+	spTASIssue               // issue a charged test&set of addr
+	spTASJudge               // test&set completed: evaluate the outcome
+)
+
+// spinState is the per-processor wait descriptor. It lives by value in
+// the Proc and is reused across waits, so entering a spin allocates
+// nothing.
+type spinState struct {
+	active bool
+	kind   uint8
+	phase  uint8
+	poll   bool // NUMA remote word: periodic polling instead of watching
+	addr   Addr
+	pred   Pred
+	bo     Backoff
+	cur    sim.Time // current backoff delay
+	val    Word     // last probed value; the spin's result
+}
+
+func (s *spinState) holds(v Word) bool {
+	return s.pred.Holds(v)
+}
+
+// nextDelay computes the post-failure delay and advances the backoff
+// schedule, drawing jitter from the processor's RNG in exactly the order
+// the goroutine loop would have.
+func (s *spinState) nextDelay(p *Proc) sim.Time {
+	d := s.cur
+	if s.bo.PropJitter {
+		d += p.rng.Time(s.cur)
+	}
+	if s.cur < s.bo.Cap {
+		s.cur *= 2
+		if s.cur > s.bo.Cap {
+			s.cur = s.bo.Cap
+		}
+	}
+	return d
+}
+
+// spinBegin enters a machine-driven spin wait on the calling processor's
+// goroutine. The state machine runs inline until the wait either
+// completes (every probe retired on the fast path — the uncontended
+// case, which schedules no event and performs no handoff, exactly like
+// the goroutine loop it replaces) or must wait for an event, in which
+// case the goroutine drives the engine like any blocked processor and
+// returns when its spin completes.
+func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
+	s := &p.spin
+	s.active = true
+	s.kind = kind
+	s.addr = a
+	s.pred = pr
+	s.bo = bo
+	s.cur = bo.Base
+	s.poll = kind != spinTAS && p.m.cfg.Model == NUMA && p.m.home(a) != p.id
+	s.phase = spReadIssue
+	if kind == spinTAS {
+		s.phase = spTASIssue
+	}
+	if !p.m.spinAdvance(p) {
+		p.m.drive(p)
+	}
+	s.active = false
+	p.blockedOn = ""
+	return s.val
+}
+
+// spinComplete mirrors Proc.complete for an operation issued by the spin
+// state machine: retire inline when no pending event precedes the
+// completion (charging the livelock budget), otherwise schedule the
+// continuation as an EvSpin at the completion time. The scheduling
+// decision, charge, and event timestamp are identical to the goroutine
+// path; only the event kind differs, which the engine orders identically.
+func (p *Proc) spinComplete(lat sim.Time, next uint8) bool {
+	target := p.localNow + lat
+	eng := p.m.eng
+	if nxt, ok := eng.NextTime(); !ok || nxt > target {
+		if !eng.ChargeStep() {
+			p.localNow = target
+			p.m.stats.InlineOps++
+			p.spin.phase = next
+			return true
+		}
+	}
+	p.spin.phase = next
+	eng.AtEvent(target, sim.EvSpin, int32(p.id), int32(p.spin.addr))
+	return false
+}
+
+// spinAdvance runs p's spin state machine until it completes (returns
+// true: the processor's program resumes at p.localNow) or must wait for
+// an engine event or a write to the watched word (returns false). It is
+// called from the drive loop when an EvSpin fires, and once at spin
+// entry on the processor's own goroutine.
+func (m *Machine) spinAdvance(p *Proc) bool {
+	s := &p.spin
+	for {
+		switch s.phase {
+		case spReadIssue:
+			p.blockedOn = "spin"
+			v, lat := p.loadIssue(s.addr)
+			s.val = v
+			if !p.spinComplete(lat, spReadJudge) {
+				return false
+			}
+		case spReadJudge:
+			if s.holds(s.val) {
+				if s.kind == spinTTAS {
+					s.phase = spTASIssue
+					continue
+				}
+				return true
+			}
+			if s.poll {
+				// Remote NUMA word: no cache to spin in, so poll the
+				// module every PollInterval cycles with jitter.
+				jitter := p.rng.Time(m.cfg.PollInterval/2 + 1)
+				if !p.spinComplete(m.cfg.PollInterval+jitter, spReadIssue) {
+					return false
+				}
+				continue
+			}
+			// A write may have committed while our load was in flight. A
+			// real snooping cache would have observed that invalidation,
+			// so recheck the committed value before parking and pay a
+			// normal re-read if it changed.
+			if s.holds(m.mem[s.addr]) {
+				s.phase = spReadIssue
+				continue
+			}
+			p.watchRegister(s.addr)
+			s.phase = spReadIssue // a write wakes us into a charged re-read
+			return false
+		case spTASIssue:
+			p.blockedOn = "spin"
+			if s.kind == spinTAS {
+				m.spinBatchTAS(p)
+			}
+			old, lat := p.tasIssue(s.addr)
+			s.val = old
+			if !p.spinComplete(lat, spTASJudge) {
+				return false
+			}
+		case spTASJudge:
+			if s.val == 0 {
+				return true // test&set won the word
+			}
+			if s.kind == spinTTAS {
+				s.phase = spReadIssue // lock still held: back to the cached read spin
+				continue
+			}
+			if s.bo.Base > 0 {
+				if !p.spinComplete(s.nextDelay(p), spTASIssue) {
+					return false
+				}
+				continue
+			}
+			s.phase = spTASIssue // raw storm: retry immediately
+		}
+	}
+}
+
+// spinBatchTAS charges a run of failed test&set probes in closed form.
+// It applies only when every probe in the run is provably identical —
+// draw-free constant backoff, predicate-failing steady value, no
+// watchers to wake, and a memory system in steady state (the processor
+// already owns the word on Bus; the module port is idle on NUMA) — and
+// only up to the first pending event or livelock-budget boundary, where
+// the normal probe-by-probe path takes over. Within those bounds the
+// per-probe effects are pure arithmetic on the counters, so k probes
+// collapse into O(1) work with bit-identical results.
+func (m *Machine) spinBatchTAS(p *Proc) {
+	s := &p.spin
+	// Backoff must be draw-free and no longer growing.
+	if s.bo.PropJitter || (s.bo.Base > 0 && s.cur < s.bo.Cap) {
+		return
+	}
+	a := s.addr
+	if m.mem[a] == 0 || m.watchHead[a] != 0 {
+		return // the next probe may succeed, or writes must wake watchers
+	}
+	var lat sim.Time
+	remote := false
+	switch m.cfg.Model {
+	case Bus:
+		if m.owner[a] != int16(p.id)+1 {
+			return // first probe still needs a bus transaction
+		}
+		lat = m.cfg.CacheHit
+	case NUMA:
+		mod := m.home(a)
+		if m.modFreeAt[mod] > p.localNow {
+			return // port still draining: occupancy is not yet steady
+		}
+		lat = m.cfg.LocalMem
+		if mod != p.id {
+			lat += m.cfg.RemoteMem
+			remote = true
+		}
+	default:
+		lat = 1
+	}
+	delay := sim.Time(0)
+	charges := uint64(1) // the test&set completion
+	if s.bo.Base > 0 {
+		delay = s.cur
+		charges = 2 // plus the backoff delay completion
+	}
+	period := lat + delay
+	if period <= 0 {
+		return
+	}
+	k := m.eng.ChargeBudget() / charges
+	if next, ok := m.eng.NextTime(); ok {
+		// Every per-probe completion must stay strictly before the next
+		// pending event; the run's last completion is at localNow + k*period.
+		span := int64(next - p.localNow - 1)
+		if span < int64(period) {
+			return
+		}
+		if byTime := uint64(span / int64(period)); byTime < k {
+			k = byTime
+		}
+	}
+	if k < 2 {
+		return // not worth short-circuiting; the normal path handles it
+	}
+	// Apply k failed probes at once. mem[a] is already non-zero; the
+	// test&set write of 1 is idempotent after the first probe.
+	m.mem[a] = 1
+	p.stats.RMWs += k
+	if remote {
+		p.stats.RemoteRefs += k
+		m.stats.RemoteRefs += k
+	}
+	if m.cfg.Model == NUMA {
+		mod := m.home(a)
+		m.modFreeAt[mod] = p.localNow + sim.Time(k-1)*period + lat
+	}
+	m.eng.ChargeN(k * charges)
+	m.stats.InlineOps += k * charges
+	p.localNow += sim.Time(k) * period
+}
+
+// watchRegister appends p to the intrusive watcher list of addr; the
+// next write to addr schedules its wake. Links are processor index + 1,
+// zero-terminated (see Machine.watchHead).
+func (p *Proc) watchRegister(a Addr) {
+	p.blockedOn = "watch"
+	p.blockedAddr = a
+	link := int32(p.id) + 1
+	p.watchNext = 0
+	if tail := p.m.watchTail[a]; tail != 0 {
+		p.m.procs[tail-1].watchNext = link
+	} else {
+		p.m.watchHead[a] = link
+	}
+	p.m.watchTail[a] = link
+}
+
+// ---------------------------------------------------------------------
+// Public spin-wait API
+// ---------------------------------------------------------------------
+
+// SpinUntilPred blocks until pred holds for the word at a, returning the
+// satisfying value. The cost model depends on the machine:
+//
+//   - Bus/Ideal: the classic cached spin. The first read may miss; while
+//     the value is unchanged the spinner consumes no interconnect
+//     bandwidth (it spins in its own cache); each write to the word
+//     invalidates and forces a re-read, charged through the normal path.
+//   - NUMA, word in another module: there is no cache to spin in, so the
+//     processor polls the remote module every PollInterval cycles; every
+//     poll is a remote reference. This is exactly why remote-spin
+//     algorithms melt Butterfly-class machines.
+//   - NUMA, word in this processor's module: local spin; watchers model
+//     the (free) local re-check and each wakeup pays one local access.
+//
+// The wait itself is machine-driven: the processor's goroutine parks
+// once and the engine replays the probes (see the package comment above).
+func (p *Proc) SpinUntilPred(a Addr, pred Pred) Word {
+	return p.spinBegin(spinRead, a, pred, Backoff{})
+}
+
+// SpinWhileEq is shorthand for spinning until the word differs from
+// sentinel.
+func (p *Proc) SpinWhileEq(a Addr, sentinel Word) Word {
+	return p.spinBegin(spinRead, a, Pred{Op: PredNe, Want: sentinel}, Backoff{})
+}
+
+// SpinUntilEq is shorthand for spinning until the word equals want.
+func (p *Proc) SpinUntilEq(a Addr, want Word) Word {
+	return p.spinBegin(spinRead, a, Pred{Op: PredEq, Want: want}, Backoff{})
+}
+
+// SpinTAS repeatedly issues test&set on a until it returns 0 (the caller
+// then holds the latch), applying the Backoff schedule between failed
+// probes. With the zero Backoff this is the raw test&set storm: every
+// probe is an atomic read-modify-write hammering the interconnect for as
+// long as the word stays non-zero.
+func (p *Proc) SpinTAS(a Addr, bo Backoff) {
+	p.spinBegin(spinTAS, a, Pred{}, bo)
+}
+
+// SpinTTAS is the test-and-test&set discipline: spin with ordinary reads
+// until the word looks free (zero), then attempt one test&set; on
+// failure, fall back to the read spin. Traffic drops from continuous to
+// one burst per release.
+func (p *Proc) SpinTTAS(a Addr) {
+	p.spinBegin(spinTTAS, a, Pred{Op: PredEq, Want: 0}, Backoff{})
+}

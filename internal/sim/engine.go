@@ -34,6 +34,15 @@ const (
 	EvFunc EventKind = iota
 	// EvDispatch resumes a parked processor; arg0 is the processor index.
 	EvDispatch
+	// EvSpin advances a machine-driven spin wait: the simulation layer
+	// executes the waiting processor's next probe (or watcher re-check)
+	// directly in its drive loop, without resuming the processor's
+	// goroutine. arg0 is the processor index, arg1 an address for
+	// debugging. Scheduling-wise an EvSpin is indistinguishable from the
+	// EvDispatch it replaces — same timestamp, same sequence-number
+	// consumption — which is what keeps spin batching bit-identical to
+	// probe-by-probe execution.
+	EvSpin
 )
 
 // Handler consumes typed events. A single handler is installed by the
@@ -66,15 +75,33 @@ var ErrStepLimit = errors.New("sim: event step limit exceeded (livelock?)")
 
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is not usable; call NewEngine.
+//
+// The queue adapts its layout to the event population. Simulations keep
+// roughly one pending event per processor, so small populations (the
+// common case: a machine with tens of processors) live in an unsorted
+// array with a cached minimum — push is an append, pop a swap-remove
+// plus a sequential rescan, both cheaper than heap sifts at this size.
+// When the population first exceeds linearMax the queue heapifies and
+// stays a 4-ary min-heap for the rest of the run (Reset restores linear
+// mode). Both layouts pop in exactly (when, seq) order, so the mode is
+// invisible to simulation results.
 type Engine struct {
 	now      Time
-	events   []event // 4-ary min-heap ordered by (when, seq)
+	events   []event // linear: unsorted, minIdx cached; heap: 4-ary min-heap
+	linear   bool
+	minIdx   int // linear mode: index of the (when, seq) minimum
 	seq      uint64
 	steps    uint64 // events fired
 	work     uint64 // events fired + inline work charged via ChargeStep
 	maxSteps uint64
 	handler  Handler
 }
+
+// linearMax is the population above which the queue switches to the
+// heap. Chosen to cover the standard sweeps' machines (one pending
+// event per processor at P <= 32, plus slack) while the 64-processor
+// NUMA cells still get heap behavior.
+const linearMax = 48
 
 // DefaultMaxSteps bounds runaway simulations. Each simulated memory
 // operation is roughly one event, so this allows on the order of 10^8
@@ -83,7 +110,7 @@ const DefaultMaxSteps = 200_000_000
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{maxSteps: DefaultMaxSteps}
+	return &Engine{maxSteps: DefaultMaxSteps, linear: true}
 }
 
 // SetMaxSteps overrides the livelock guard. A value of zero restores the
@@ -121,10 +148,45 @@ func (e *Engine) ChargeStep() bool {
 	return false
 }
 
+// ChargeBudget returns how many further ChargeStep calls would succeed
+// from the current state. Closed-form spin accounting uses this to
+// charge a whole run of inline probes at once (via ChargeN) while
+// stopping at exactly the operation where step-by-step charging would
+// have hit the budget.
+func (e *Engine) ChargeBudget() uint64 {
+	if e.work+1 >= e.maxSteps {
+		return 0
+	}
+	return e.maxSteps - 1 - e.work
+}
+
+// ChargeN charges n units of inline work in one call. n must not exceed
+// ChargeBudget(); the pairing keeps batched charging bit-identical to n
+// individual ChargeStep calls.
+func (e *Engine) ChargeN(n uint64) { e.work += n }
+
 // Exhausted reports whether the livelock budget has been spent. External
 // drivers (the machine's baton-passing run loop steps the engine itself
 // rather than calling Run) use this to surface ErrStepLimit.
 func (e *Engine) Exhausted() bool { return e.work > e.maxSteps }
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty, sequence and step counters cleared — while keeping the event
+// heap's backing array, so a pooled simulation pays no scheduling
+// allocations on reuse. The step limit is preserved; callers that pool
+// across configurations reapply SetMaxSteps.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i].fn = nil // release closure references to the GC
+	}
+	e.events = e.events[:0]
+	e.linear = true
+	e.minIdx = 0
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.work = 0
+}
 
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
@@ -137,6 +199,9 @@ func (e *Engine) Pending() int { return len(e.events) }
 func (e *Engine) NextTime() (Time, bool) {
 	if len(e.events) == 0 {
 		return 0, false
+	}
+	if e.linear {
+		return e.events[e.minIdx].when, true
 	}
 	return e.events[0].when, true
 }
@@ -233,7 +298,11 @@ func (e *Engine) Run() error {
 
 // RunUntil processes events with timestamps <= deadline.
 func (e *Engine) RunUntil(deadline Time) error {
-	for len(e.events) > 0 && e.events[0].when <= deadline {
+	for {
+		next, ok := e.NextTime()
+		if !ok || next > deadline {
+			break
+		}
 		if !e.Step() {
 			break
 		}
@@ -255,22 +324,67 @@ const heapArity = 4
 
 func (e *Engine) push(ev event) {
 	e.events = append(e.events, ev)
-	e.siftUp(len(e.events) - 1)
+	n := len(e.events)
+	if e.linear {
+		if n == 1 || ev.before(&e.events[e.minIdx]) {
+			e.minIdx = n - 1
+		}
+		if n > linearMax {
+			e.heapify()
+		}
+		return
+	}
+	e.siftUp(n - 1)
 }
 
 func (e *Engine) pop() event {
 	h := e.events
-	top := h[0]
 	n := len(h) - 1
+	if e.linear {
+		i := e.minIdx
+		top := h[i]
+		h[i] = h[n]
+		if h[n].fn != nil {
+			h[n].fn = nil // release the closure reference to the GC
+		}
+		e.events = h[:n]
+		e.rescanMin()
+		return top
+	}
+	top := h[0]
 	h[0] = h[n]
 	if h[n].fn != nil {
-		h[n].fn = nil // release the closure reference to the GC
+		h[n].fn = nil
 	}
 	e.events = h[:n]
 	if n > 1 {
 		e.siftDown(0)
 	}
 	return top
+}
+
+// rescanMin recomputes the cached minimum of the unsorted linear queue:
+// one sequential pass, branch-friendly and cache-dense at the small
+// populations the linear mode is reserved for.
+func (e *Engine) rescanMin() {
+	h := e.events
+	m := 0
+	for i := 1; i < len(h); i++ {
+		if h[i].before(&h[m]) {
+			m = i
+		}
+	}
+	e.minIdx = m
+}
+
+// heapify converts the unsorted queue into a 4-ary min-heap; the engine
+// stays in heap mode until Reset. Crossing the threshold mid-run is
+// rare (the population tracks the processor count).
+func (e *Engine) heapify() {
+	e.linear = false
+	for i := (len(e.events) - 2) / heapArity; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 func (e *Engine) siftUp(i int) {

@@ -24,9 +24,25 @@ func NewRNG(seed uint64) *RNG {
 // from this one's seed and the given stream index. It does not disturb
 // the receiver's stream.
 func (r *RNG) Derive(stream uint64) *RNG {
+	return &RNG{state: r.deriveState(stream)}
+}
+
+// DeriveInto reseeds dst with the same state Derive(stream) would give a
+// fresh generator — the allocation-free form used when machines are
+// pooled: a Reset machine's per-processor streams must be bit-identical
+// to a newly constructed machine's.
+func (r *RNG) DeriveInto(stream uint64, dst *RNG) {
+	dst.state = r.deriveState(stream)
+}
+
+// Reseed restarts the generator's stream from seed, exactly as if it had
+// been constructed with NewRNG(seed).
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
+func (r *RNG) deriveState(stream uint64) uint64 {
 	// Mix the stream index through one splitmix round of a copy.
 	tmp := RNG{state: r.state + 0x9e3779b97f4a7c15*(stream+1)}
-	return &RNG{state: tmp.Uint64()}
+	return tmp.Uint64()
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

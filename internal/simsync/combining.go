@@ -174,11 +174,18 @@ type CounterResult struct {
 // the number of increments, and the returned pre-increment values are
 // unique (each caller owns a distinct slot of the count).
 func RunCounter(cfg machine.Config, info CounterInfo, opts CounterOpts) (CounterResult, error) {
+	return RunCounterIn(nil, cfg, info, opts)
+}
+
+// RunCounterIn is RunCounter drawing its machine from pool (see
+// machines.go).
+func RunCounterIn(pool *machine.Pool, cfg machine.Config, info CounterInfo, opts CounterOpts) (CounterResult, error) {
 	cfg = cfg.Defaults()
-	m, err := machine.New(cfg)
+	m, err := getMachine(pool, cfg)
 	if err != nil {
 		return CounterResult{}, err
 	}
+	defer putMachine(pool, m)
 	ctr := info.Make(m)
 
 	seen := make(map[machine.Word]bool)

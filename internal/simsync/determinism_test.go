@@ -1,6 +1,7 @@
 package simsync
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -17,6 +18,24 @@ import (
 
 func modelsUnderTest() []machine.Model {
 	return []machine.Model{machine.Bus, machine.NUMA}
+}
+
+// procsUnderTest spans the contention regimes: a near-uncontended pair,
+// the classic mid-size storm, and a machine large enough that every
+// engine path (event queue growth, watcher bursts, spin batching at
+// scale) is exercised.
+func procsUnderTest() []int {
+	return []int{2, 8, 32}
+}
+
+// forEachConfig runs fn for every model × processor-count combination.
+func forEachConfig(t *testing.T, fn func(model machine.Model, procs int)) {
+	t.Helper()
+	for _, model := range modelsUnderTest() {
+		for _, procs := range procsUnderTest() {
+			fn(model, procs)
+		}
+	}
 }
 
 // assertIdentical runs measure twice and compares the full Stats
@@ -42,73 +61,78 @@ func assertIdentical(t *testing.T, name string, measure func() (machine.Stats, e
 }
 
 func TestDeterminismLocks(t *testing.T) {
-	for _, model := range modelsUnderTest() {
+	forEachConfig(t, func(model machine.Model, procs int) {
 		for _, info := range Locks() {
 			info := info
-			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			assertIdentical(t, name, func() (machine.Stats, error) {
 				res, err := RunLock(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7},
 					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
 				return res.Stats, err
 			})
 		}
-	}
+	})
 }
 
 func TestDeterminismBarriers(t *testing.T) {
-	for _, model := range modelsUnderTest() {
+	forEachConfig(t, func(model machine.Model, procs int) {
 		for _, info := range Barriers() {
 			info := info
-			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			assertIdentical(t, name, func() (machine.Stats, error) {
 				res, err := RunBarrier(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7},
 					info, BarrierOpts{Episodes: 10, Work: 150})
 				return res.Stats, err
 			})
 		}
-	}
+	})
 }
 
 func TestDeterminismRWLocks(t *testing.T) {
-	for _, model := range modelsUnderTest() {
+	forEachConfig(t, func(model machine.Model, procs int) {
 		for _, info := range RWLocks() {
 			info := info
-			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			assertIdentical(t, name, func() (machine.Stats, error) {
 				res, err := RunRW(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7},
 					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
 				return res.Stats, err
 			})
 		}
-	}
+	})
 }
 
 func TestDeterminismSemaphores(t *testing.T) {
-	for _, model := range modelsUnderTest() {
+	forEachConfig(t, func(model machine.Model, procs int) {
 		for _, info := range Semaphores() {
 			info := info
-			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			assertIdentical(t, name, func() (machine.Stats, error) {
 				res, err := RunProducerConsumer(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7},
 					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
 				return res.Stats, err
 			})
 		}
-	}
+	})
 }
 
 func TestDeterminismCounters(t *testing.T) {
-	for _, model := range modelsUnderTest() {
+	forEachConfig(t, func(model machine.Model, procs int) {
 		for _, info := range Counters() {
 			info := info
-			assertIdentical(t, model.String()+"/"+info.Name, func() (machine.Stats, error) {
+			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			assertIdentical(t, name, func() (machine.Stats, error) {
 				res, err := RunCounter(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7},
 					info, CounterOpts{Incs: 30, Think: 20})
 				return res.Stats, err
 			})
 		}
-	}
+	})
 }
 
 // TestFastPathEngages pins down that the fast path actually fires: a
@@ -135,5 +159,52 @@ func TestFastPathEngages(t *testing.T) {
 	if st.InlineOps*10 < ops*9 {
 		t.Errorf("uncontended run should retire ~all ops inline: inline=%d of %d ops (events=%d)",
 			st.InlineOps, ops, st.Events)
+	}
+}
+
+// TestPooledRunsMatchFresh pins the machine-pooling contract: drawing a
+// machine from a pool (Reset reuse) must produce results bit-identical
+// to constructing a fresh machine — stats, per-processor counters, and
+// the RNG-driven workload schedule included. The pooled sequence
+// deliberately alternates configurations (model, processor count,
+// algorithm) so every Reset transition — grow, shrink, model switch —
+// is exercised on one reused machine.
+func TestPooledRunsMatchFresh(t *testing.T) {
+	type cell struct {
+		lock string
+		cfg  machine.Config
+	}
+	cells := []cell{
+		{"tas", machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}},
+		{"qsync", machine.Config{Procs: 16, Model: machine.NUMA, Seed: 7}},
+		{"ttas", machine.Config{Procs: 4, Model: machine.Bus, Seed: 9}},
+		{"tas", machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}}, // repeat of cell 0
+	}
+	opts := LockOpts{Iters: 15, CS: 25, Think: 50, CheckMutex: true}
+
+	var fresh []LockResult
+	for _, c := range cells {
+		info, ok := LockByName(c.lock)
+		if !ok {
+			t.Fatalf("unknown lock %q", c.lock)
+		}
+		res, err := RunLock(c.cfg, info, opts)
+		if err != nil {
+			t.Fatalf("fresh %s: %v", c.lock, err)
+		}
+		fresh = append(fresh, res)
+	}
+
+	pool := new(machine.Pool)
+	for i, c := range cells {
+		info, _ := LockByName(c.lock)
+		res, err := RunLockIn(pool, c.cfg, info, opts)
+		if err != nil {
+			t.Fatalf("pooled %s: %v", c.lock, err)
+		}
+		if !reflect.DeepEqual(res, fresh[i]) {
+			t.Errorf("cell %d (%s): pooled run diverged from fresh:\n  fresh:  %+v\n  pooled: %+v",
+				i, c.lock, fresh[i], res)
+		}
 	}
 }

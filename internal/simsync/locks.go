@@ -54,8 +54,11 @@ func NewTAS(m *machine.Machine) Lock {
 func (t *tasLock) Name() string { return "tas" }
 
 func (t *tasLock) Acquire(p *machine.Proc) {
-	for p.TestAndSet(t.l) != 0 {
-	}
+	// The raw probe storm, engine-batched: every retry is still an
+	// atomic read-modify-write hammering the interconnect, but the
+	// whole run of failed probes is charged without waking this
+	// goroutine once per probe.
+	p.SpinTAS(t.l, machine.Backoff{})
 }
 
 func (t *tasLock) Release(p *machine.Proc) {
@@ -82,12 +85,7 @@ func NewTTAS(m *machine.Machine) Lock {
 func (t *ttasLock) Name() string { return "ttas" }
 
 func (t *ttasLock) Acquire(p *machine.Proc) {
-	for {
-		p.SpinUntilEq(t.l, 0)
-		if p.TestAndSet(t.l) == 0 {
-			return
-		}
-	}
+	p.SpinTTAS(t.l)
 }
 
 func (t *ttasLock) Release(p *machine.Proc) {
@@ -135,16 +133,11 @@ func NewTASBackoffParams(m *machine.Machine, bp BackoffParams) Lock {
 func (t *backoffLock) Name() string { return "tas-bo" }
 
 func (t *backoffLock) Acquire(p *machine.Proc) {
-	b := t.params.Base
-	for p.TestAndSet(t.l) != 0 {
-		p.Delay(b + p.RNG().Time(b))
-		if b < t.params.Cap {
-			b *= 2
-			if b > t.params.Cap {
-				b = t.params.Cap
-			}
-		}
-	}
+	// Anderson-style bounded exponential backoff with proportional
+	// jitter: delay cur + rng.Time(cur) after each failed probe, cur
+	// doubling up to Cap. The schedule (and its RNG draws) is replayed
+	// by the engine's spin machine, probe for probe.
+	p.SpinTAS(t.l, machine.Backoff{Base: t.params.Base, Cap: t.params.Cap, PropJitter: true})
 }
 
 func (t *backoffLock) Release(p *machine.Proc) {
@@ -293,9 +286,8 @@ func (g *gtLock) Acquire(p *machine.Proc) {
 	prevVal := old & 1
 	// Wait until the predecessor flips its flag away from the value it
 	// had when it enqueued.
-	p.SpinUntil(g.flags+machine.Addr(prevIdx), func(v machine.Word) bool {
-		return v&1 != prevVal
-	})
+	p.SpinUntilPred(g.flags+machine.Addr(prevIdx),
+		machine.Pred{Op: machine.PredNe, Mask: 1, Want: prevVal})
 }
 
 func (g *gtLock) Release(p *machine.Proc) {

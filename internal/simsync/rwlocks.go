@@ -65,12 +65,7 @@ func (l *counterRW) ReleaseRead(p *machine.Proc) {
 }
 
 func (l *counterRW) AcquireWrite(p *machine.Proc) {
-	for {
-		p.SpinUntilEq(l.wlatch, 0)
-		if p.TestAndSet(l.wlatch) == 0 {
-			break
-		}
-	}
+	p.SpinTTAS(l.wlatch)
 	p.SpinUntilEq(l.readers, 0)
 }
 
@@ -167,7 +162,7 @@ func (l *qsyncRW) AcquireWrite(p *machine.Proc) {
 		setSucc(p, pa+rwState, rwSuccWriter)
 		p.Store(pa+rwNext, machine.PtrWord(n))
 	}
-	p.SpinUntil(n+rwState, func(v machine.Word) bool { return v&rwBlocked == 0 })
+	p.SpinUntilPred(n+rwState, machine.Pred{Op: machine.PredEq, Mask: rwBlocked, Want: 0})
 }
 
 func (l *qsyncRW) ReleaseWrite(p *machine.Proc) {
@@ -199,7 +194,7 @@ func (l *qsyncRW) AcquireRead(p *machine.Proc) {
 			// Predecessor is a writer or a blocked reader: wait to be
 			// chained in.
 			p.Store(pa+rwNext, machine.PtrWord(n))
-			p.SpinUntil(n+rwState, func(v machine.Word) bool { return v&rwBlocked == 0 })
+			p.SpinUntilPred(n+rwState, machine.Pred{Op: machine.PredEq, Mask: rwBlocked, Want: 0})
 		} else {
 			// Active reader ahead of us: join the batch immediately.
 			p.FetchAdd(l.readers, 1)
@@ -258,11 +253,17 @@ type RWResult struct {
 // interleaves only at yield points, so host-side brackets are precise):
 // writers exclude everyone; readers exclude writers only.
 func RunRW(cfg machine.Config, info RWLockInfo, opts RWOpts) (RWResult, error) {
+	return RunRWIn(nil, cfg, info, opts)
+}
+
+// RunRWIn is RunRW drawing its machine from pool (see machines.go).
+func RunRWIn(pool *machine.Pool, cfg machine.Config, info RWLockInfo, opts RWOpts) (RWResult, error) {
 	cfg = cfg.Defaults()
-	m, err := machine.New(cfg)
+	m, err := getMachine(pool, cfg)
 	if err != nil {
 		return RWResult{}, err
 	}
+	defer putMachine(pool, m)
 	lock := info.Make(m)
 
 	activeReaders, activeWriters := 0, 0

@@ -44,13 +44,14 @@ func NewCentralSemaphore(m *machine.Machine, permits int) Semaphore {
 
 func (s *centralSem) Name() string { return "sem-central" }
 
+// semLatchBackoff is the fixed 8-cycle pause between latch probes.
+var semLatchBackoff = machine.Backoff{Base: 8, Cap: 8}
+
 func (s *centralSem) P(p *machine.Proc) {
 	for {
 		// Wait for permits to look available, then take the latch.
-		p.SpinUntil(s.count, func(v machine.Word) bool { return v > 0 })
-		for p.TestAndSet(s.latch) != 0 {
-			p.Delay(8)
-		}
+		p.SpinUntilPred(s.count, machine.Pred{Op: machine.PredGt, Want: 0})
+		p.SpinTAS(s.latch, semLatchBackoff)
 		if p.Load(s.count) > 0 {
 			p.Store(s.count, p.Load(s.count)-1)
 			p.Store(s.latch, 0)
@@ -61,9 +62,7 @@ func (s *centralSem) P(p *machine.Proc) {
 }
 
 func (s *centralSem) V(p *machine.Proc) {
-	for p.TestAndSet(s.latch) != 0 {
-		p.Delay(8)
-	}
+	p.SpinTAS(s.latch, semLatchBackoff)
 	p.Store(s.count, p.Load(s.count)+1)
 	p.Store(s.latch, 0)
 }
@@ -171,6 +170,12 @@ type PCResult struct {
 // (spaces, items) on half producers / half consumers and validates
 // conservation: every slot value written is read exactly once.
 func RunProducerConsumer(cfg machine.Config, info SemaphoreInfo, opts PCOpts) (PCResult, error) {
+	return RunProducerConsumerIn(nil, cfg, info, opts)
+}
+
+// RunProducerConsumerIn is RunProducerConsumer drawing its machine from
+// pool (see machines.go).
+func RunProducerConsumerIn(pool *machine.Pool, cfg machine.Config, info SemaphoreInfo, opts PCOpts) (PCResult, error) {
 	cfg = cfg.Defaults()
 	if cfg.Procs < 2 {
 		return PCResult{}, fmt.Errorf("producer/consumer needs at least 2 processors")
@@ -178,10 +183,11 @@ func RunProducerConsumer(cfg machine.Config, info SemaphoreInfo, opts PCOpts) (P
 	if opts.Capacity < 1 {
 		opts.Capacity = 1
 	}
-	m, err := machine.New(cfg)
+	m, err := getMachine(pool, cfg)
 	if err != nil {
 		return PCResult{}, err
 	}
+	defer putMachine(pool, m)
 	spaces := info.Make(m, opts.Capacity)
 	items := info.Make(m, 0)
 	ring := m.AllocShared(opts.Capacity)

@@ -52,11 +52,17 @@ type grantRecord struct {
 // as it goes. Any invariant violation is returned as an error: a broken
 // lock must never produce a data point.
 func RunLock(cfg machine.Config, info LockInfo, opts LockOpts) (LockResult, error) {
+	return RunLockIn(nil, cfg, info, opts)
+}
+
+// RunLockIn is RunLock drawing its machine from pool (see machines.go).
+func RunLockIn(pool *machine.Pool, cfg machine.Config, info LockInfo, opts LockOpts) (LockResult, error) {
 	cfg = cfg.Defaults()
-	m, err := machine.New(cfg)
+	m, err := getMachine(pool, cfg)
 	if err != nil {
 		return LockResult{}, err
 	}
+	defer putMachine(pool, m)
 	lock := info.Make(m)
 
 	var counter machine.Addr
@@ -215,11 +221,17 @@ type BarrierResult struct {
 // processor may leave episode e before every processor has arrived at
 // episode e.
 func RunBarrier(cfg machine.Config, info BarrierInfo, opts BarrierOpts) (BarrierResult, error) {
+	return RunBarrierIn(nil, cfg, info, opts)
+}
+
+// RunBarrierIn is RunBarrier drawing its machine from pool.
+func RunBarrierIn(pool *machine.Pool, cfg machine.Config, info BarrierInfo, opts BarrierOpts) (BarrierResult, error) {
 	cfg = cfg.Defaults()
-	m, err := machine.New(cfg)
+	m, err := getMachine(pool, cfg)
 	if err != nil {
 		return BarrierResult{}, err
 	}
+	defer putMachine(pool, m)
 	bar := info.Make(m)
 
 	procs := cfg.Procs
