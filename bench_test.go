@@ -160,14 +160,58 @@ func BenchmarkMachineSpinBatched(b *testing.B) {
 	}
 }
 
-// BenchmarkT1 — uncontended latency, simulated bus machine.
+// BenchmarkMachineStormBatched — the cross-processor spin-window
+// workload: a 32-processor raw test&set storm on the bus machine, the
+// configuration where nearly every event is an interleaved probe and
+// window batching fast-forwards whole rotations in closed form. The
+// windows/nowindows pair shares one pooled machine shape, so the ratio
+// of their simops/s is the window mechanism's speedup; the simulated
+// results are bit-identical (pinned by the determinism suite).
+func BenchmarkMachineStormBatched(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		noWin bool
+	}{{"windows", false}, {"nowindows", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			info, ok := simsync.LockByName("tas")
+			if !ok {
+				b.Fatal("tas lock missing")
+			}
+			b.ReportAllocs()
+			pool := new(machine.Pool)
+			var ops, acqs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := simsync.RunLockIn(pool,
+					machine.Config{Procs: 32, Model: machine.Bus, Seed: uint64(i + 1),
+						SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: tc.noWin},
+					info,
+					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := res.Stats
+				ops += st.Loads + st.Stores + st.RMWs
+				acqs += res.Acquisitions
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+		})
+	}
+}
+
+// BenchmarkT1 — uncontended latency, simulated bus machine. Pooled,
+// as the harness runs it: one acquire/release pair per reset machine.
 func BenchmarkT1_Uncontended(b *testing.B) {
 	for _, li := range simsync.Locks() {
 		li := li
 		b.Run(li.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			pool := new(machine.Pool)
 			var cyc float64
 			for i := 0; i < b.N; i++ {
-				c, _, err := simsync.UncontendedLockCost(machine.Bus, li)
+				c, _, err := simsync.UncontendedLockCostIn(pool, machine.Bus, li)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -203,19 +203,39 @@ func loadSimBench(path string) (simBenchFile, error) {
 	return f, nil
 }
 
-// mergeSimSnapshot appends snap to the trajectory, replacing an existing
-// snapshot with the same date, label, and mode (re-running the same
-// measurement updates its entry instead of duplicating it, while
-// distinct milestones measured the same day stay separate).
-func mergeSimSnapshot(f simBenchFile, snap simBenchSnapshot) simBenchFile {
+// mergeSimSnapshot appends snap to the trajectory. A (date, label)
+// pair identifies one milestone measurement: re-running it in the same
+// mode replaces the entry, while a quick/full mode mismatch is refused
+// — silently appending a second point under the same label would make
+// the trajectory ambiguous (two same-day points whose difference is
+// sweep size, not engine progress). Distinct milestones measured the
+// same day need distinct -simlabel values.
+func mergeSimSnapshot(f simBenchFile, snap simBenchSnapshot) (simBenchFile, error) {
+	if err := simSnapshotConflict(f, snap); err != nil {
+		return f, err
+	}
 	for i, s := range f.Snapshots {
-		if s.Date == snap.Date && s.Label == snap.Label && s.Quick == snap.Quick {
+		if s.Date == snap.Date && s.Label == snap.Label {
 			f.Snapshots[i] = snap
-			return f
+			return f, nil
 		}
 	}
 	f.Snapshots = append(f.Snapshots, snap)
-	return f
+	return f, nil
+}
+
+// simSnapshotConflict reports the duplicate-(date, label) refusal
+// without mutating the trajectory. writeSimBench runs it against the
+// loaded file before measuring, so a conflicting invocation fails in
+// milliseconds instead of after a full battery run.
+func simSnapshotConflict(f simBenchFile, snap simBenchSnapshot) error {
+	for _, s := range f.Snapshots {
+		if s.Date == snap.Date && s.Label == snap.Label && s.Quick != snap.Quick {
+			return fmt.Errorf("simjson: snapshot %q on %s already exists with quick=%v; re-run in the same mode or pick a distinct -simlabel",
+				snap.Label, snap.Date, s.Quick)
+		}
+	}
+	return nil
 }
 
 // writeSimBench measures host-side simulator throughput — simulated
@@ -236,16 +256,31 @@ func writeSimBench(path string, quick bool, label string) error {
 		Label: label,
 		Quick: quick,
 	}
+	// Load the trajectory and refuse a duplicate (date, label) up
+	// front, before the battery burns minutes of measurement.
+	f, err := loadSimBench(path)
+	if err != nil {
+		return err
+	}
+	if err := simSnapshotConflict(f, snap); err != nil {
+		return err
+	}
+	// The P=32 raw-storm pair measures cross-processor spin-window
+	// batching directly: same workload with windows on (default) and
+	// forced off, so the trajectory file itself carries the speedup.
 	battery := []struct {
 		lock  string
 		model machine.Model
 		procs int
+		noWin bool
 	}{
-		{"tas", machine.Bus, 8},
-		{"ttas", machine.Bus, 8},
-		{"tas-bo", machine.Bus, 8},
-		{"qsync", machine.Bus, 8},
-		{"qsync", machine.NUMA, 16},
+		{"tas", machine.Bus, 8, false},
+		{"tas", machine.Bus, 32, false},
+		{"tas", machine.Bus, 32, true},
+		{"ttas", machine.Bus, 8, false},
+		{"tas-bo", machine.Bus, 8, false},
+		{"qsync", machine.Bus, 8, false},
+		{"qsync", machine.NUMA, 16, false},
 	}
 	pool := new(machine.Pool)
 	for _, bc := range battery {
@@ -258,7 +293,7 @@ func writeSimBench(path string, quick bool, label string) error {
 		for r := 0; r < reps; r++ {
 			res, err := simsync.RunLockIn(pool,
 				machine.Config{Procs: bc.procs, Model: bc.model, Seed: uint64(r + 1),
-					SharedWords: 1 << 12, LocalWords: 1 << 8},
+					SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: bc.noWin},
 				info,
 				simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true},
 			)
@@ -271,8 +306,12 @@ func writeSimBench(path string, quick bool, label string) error {
 			inline += st.InlineOps
 		}
 		el := time.Since(start).Seconds()
+		name := "lock/" + bc.lock
+		if bc.noWin {
+			name += "-nowin"
+		}
 		res := simBenchResult{
-			Workload: "lock/" + bc.lock, Model: bc.model.String(), Procs: bc.procs,
+			Workload: name, Model: bc.model.String(), Procs: bc.procs,
 			SimOpsPerSec: float64(ops) / el,
 			EventsPerSec: float64(events) / el,
 		}
@@ -281,12 +320,10 @@ func writeSimBench(path string, quick bool, label string) error {
 		}
 		snap.Results = append(snap.Results, res)
 	}
-	f, err := loadSimBench(path)
-	if err != nil {
+	f.Experiment = "simulator hot-path throughput (host ops/sec, contended workloads)"
+	if f, err = mergeSimSnapshot(f, snap); err != nil {
 		return err
 	}
-	f.Experiment = "simulator hot-path throughput (host ops/sec, contended workloads)"
-	f = mergeSimSnapshot(f, snap)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err

@@ -53,26 +53,64 @@ func TestLoadSimBenchMissingFile(t *testing.T) {
 func TestMergeSimSnapshotAppendsAndReplaces(t *testing.T) {
 	base := simBenchSnapshot{Date: "2026-07-01", Label: "baseline", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 1}}}
 	var f simBenchFile
-	f = mergeSimSnapshot(f, base)
+	f, err := mergeSimSnapshot(f, base)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A different label on the same date is a distinct milestone: append.
 	next := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 3}}}
-	f = mergeSimSnapshot(f, next)
+	if f, err = mergeSimSnapshot(f, next); err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Snapshots) != 2 {
 		t.Fatalf("distinct labels should append: got %d snapshots", len(f.Snapshots))
 	}
 	// Re-running the same (date, label, quick) measurement replaces it.
 	rerun := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 4}}}
-	f = mergeSimSnapshot(f, rerun)
+	if f, err = mergeSimSnapshot(f, rerun); err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Snapshots) != 2 {
 		t.Fatalf("rerun should replace, not append: got %d snapshots", len(f.Snapshots))
 	}
 	if got := f.Snapshots[1].Results[0].SimOpsPerSec; got != 4 {
 		t.Fatalf("rerun did not replace the matching snapshot: %v", got)
 	}
-	// Quick and full runs of the same day/label stay separate.
-	quick := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Quick: true}
-	f = mergeSimSnapshot(f, quick)
+	// The same label on a later date is a new trajectory point: append.
+	later := simBenchSnapshot{Date: "2026-07-02", Label: "batched"}
+	if f, err = mergeSimSnapshot(f, later); err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Snapshots) != 3 {
-		t.Fatalf("quick snapshot should not replace the full one: got %d", len(f.Snapshots))
+		t.Fatalf("later date should append: got %d snapshots", len(f.Snapshots))
+	}
+}
+
+// TestMergeSimSnapshotRefusesDuplicateLabel pins the duplicate guard:
+// the same (date, label) in a different quick/full mode must be
+// refused, not appended as a silent second point, and the trajectory
+// must be left untouched.
+func TestMergeSimSnapshotRefusesDuplicateLabel(t *testing.T) {
+	full := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Results: []simBenchResult{{Workload: "lock/tas", SimOpsPerSec: 4}}}
+	var f simBenchFile
+	f, err := mergeSimSnapshot(f, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick := simBenchSnapshot{Date: "2026-07-01", Label: "batched", Quick: true}
+	g, err := mergeSimSnapshot(f, quick)
+	if err == nil {
+		t.Fatal("quick snapshot under an existing full (date, label) should be refused")
+	}
+	if len(g.Snapshots) != 1 || g.Snapshots[0].Results[0].SimOpsPerSec != 4 {
+		t.Fatalf("refused merge must not modify the trajectory: %+v", g.Snapshots)
+	}
+	// The unlabeled default is held to the same rule.
+	f, err = mergeSimSnapshot(f, simBenchSnapshot{Date: "2026-07-03"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = mergeSimSnapshot(f, simBenchSnapshot{Date: "2026-07-03", Quick: true}); err == nil {
+		t.Fatal("unlabeled duplicate in a different mode should be refused")
 	}
 }

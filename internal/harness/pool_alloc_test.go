@@ -52,3 +52,44 @@ func TestPooledCellAllocationBudget(t *testing.T) {
 		t.Fatalf("unpooled cell (%.0f allocs) not dearer than pooled (%.0f) — pool no longer reuses machines?", unpooled, avg)
 	}
 }
+
+// TestPooledT1AllocationBudget pins the same property for the
+// one-shot uncontended measurement (T1): it runs one acquire/release
+// pair per machine, so the unpooled form is dominated by machine
+// construction. Drawn from a pool, a T1 point costs only the lock's
+// own records.
+func TestPooledT1AllocationBudget(t *testing.T) {
+	info, ok := simsync.LockByName("tas")
+	if !ok {
+		t.Fatal("tas lock missing")
+	}
+	pool := new(machine.Pool)
+	point := func() {
+		for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+			if _, _, err := simsync.UncontendedLockCostIn(pool, model, info); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	point() // warm the pool
+
+	// A pooled T1 point allocates the lock record, the run's body
+	// closures, and goroutine bookkeeping — small and constant. The
+	// budget covers both models' measurements per run.
+	const budget = 48
+	avg := testing.AllocsPerRun(20, point)
+	if avg > budget {
+		t.Fatalf("pooled T1 point allocates %.0f objects/run, budget %d", avg, budget)
+	}
+
+	unpooled := testing.AllocsPerRun(5, func() {
+		for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+			if _, _, err := simsync.UncontendedLockCost(model, info); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if unpooled <= avg {
+		t.Fatalf("unpooled T1 point (%.0f allocs) not dearer than pooled (%.0f) — pool no longer reuses machines?", unpooled, avg)
+	}
+}

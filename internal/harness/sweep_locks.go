@@ -28,12 +28,13 @@ func runT1(o Options) ([]Table, error) {
 		Note:  "tas cheapest; the queueing mechanism pays a few extra cycles for its scalability",
 		Cols:  []string{"lock", "bus cycles", "bus txns", "numa cycles", "numa refs"},
 	}
+	pool := new(machine.Pool)
 	for _, info := range algosFor(o, simsync.LockSet) {
-		busCyc, busTraf, err := simsync.UncontendedLockCost(machine.Bus, info)
+		busCyc, busTraf, err := simsync.UncontendedLockCostIn(pool, machine.Bus, info)
 		if err != nil {
 			return nil, err
 		}
-		numaCyc, numaTraf, err := simsync.UncontendedLockCost(machine.NUMA, info)
+		numaCyc, numaTraf, err := simsync.UncontendedLockCostIn(pool, machine.NUMA, info)
 		if err != nil {
 			return nil, err
 		}

@@ -92,6 +92,12 @@ type Config struct {
 
 	Seed     uint64 // RNG seed; default 1
 	MaxSteps uint64 // event limit; default sim.DefaultMaxSteps
+
+	// NoSpinWindows disables cross-processor spin-window batching
+	// (window.go). Simulated results are bit-identical either way —
+	// the switch exists for the determinism A/B tests and for host-side
+	// performance comparisons.
+	NoSpinWindows bool
 }
 
 // Defaults fills in zero fields and returns the completed config.
@@ -155,7 +161,13 @@ type Stats struct {
 	// InlineOps counts operations retired on the processor-side fast
 	// path with no engine event and no goroutine handoff. A host-side
 	// efficiency metric: it has no effect on simulated time or traffic.
-	InlineOps  uint64
+	InlineOps uint64
+	// WindowOps counts spin probes fast-forwarded in closed form by
+	// cross-processor spin windows (window.go). Like InlineOps it is a
+	// host-side efficiency metric with no effect on simulated time,
+	// traffic, or even the Events count (windowed pops are charged to
+	// the step counter exactly as if they had fired).
+	WindowOps  uint64
 	Loads      uint64
 	Stores     uint64
 	RMWs       uint64
@@ -204,6 +216,23 @@ type Machine struct {
 
 	procs []*Proc
 	live  int
+
+	// Cross-processor spin-window batching state (window.go):
+	// spinStreak governs the attempt trigger (negative while backing
+	// off after a failed attempt); winMask holds one eligibility bit
+	// per processor; winSet/winOrder/winRetimes are reusable scratch
+	// for the detector.
+	winEnabled bool // set by Reset: windows possible on this config at all
+	spinStreak int
+	winCount   int
+	winMask    []uint64
+	winSeen    []uint64
+	winSet     []sim.WindowEvent
+	// winRMWs defers window-charged per-processor RMW/traffic counts:
+	// the window commit writes this flat array instead of chasing a
+	// pointer into every spinner's Proc, and Stats() folds it into the
+	// per-processor snapshot (the only place the counters are read).
+	winRMWs []uint64
 
 	nextShared Addr
 	nextLocal  []Addr
@@ -289,6 +318,11 @@ func (m *Machine) Reset(cfg Config) error {
 	}
 
 	m.stats = Stats{}
+	m.winEnabled = !cfg.NoSpinWindows && cfg.Model != Ideal
+	m.spinStreak = 0
+	m.winCount = 0
+	m.winMask = resetSlice(m.winMask, (cfg.Procs+63)/64)
+	m.winRMWs = resetSlice(m.winRMWs, cfg.Procs)
 	m.tearingDown = false
 	m.ran = false
 	m.progErr = nil
@@ -390,9 +424,22 @@ func (m *Machine) Stats() Stats {
 	s.PerProc = make([]ProcStats, len(m.procs))
 	for i, p := range m.procs {
 		s.PerProc[i] = p.stats
-		s.Loads += p.stats.Loads
-		s.Stores += p.stats.Stores
-		s.RMWs += p.stats.RMWs
+		// Fold in the deferred window charges (window.go): every
+		// window-charged operation is an RMW, and its traffic kind is
+		// fixed by the model (a bus transaction per probe on Bus; a
+		// remote reference per probe on NUMA, where window spinners
+		// are all remote).
+		if i < len(m.winRMWs) && m.winRMWs[i] != 0 {
+			s.PerProc[i].RMWs += m.winRMWs[i]
+			if m.cfg.Model == Bus {
+				s.PerProc[i].BusTxns += m.winRMWs[i]
+			} else {
+				s.PerProc[i].RemoteRefs += m.winRMWs[i]
+			}
+		}
+		s.Loads += s.PerProc[i].Loads
+		s.Stores += s.PerProc[i].Stores
+		s.RMWs += s.PerProc[i].RMWs
 	}
 	return s
 }
@@ -499,6 +546,19 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 // exit, while a live p parks for teardown.
 func (m *Machine) drive(p *Proc) {
 	for {
+		if m.winEnabled && m.spinStreak >= 0 {
+			// The next event being an *eligible* spin probe is the
+			// cheap tell that a storm may be in rotation: scan for a
+			// closed-form window before replaying it (window.go). Any
+			// other next event would itself be the window's horizon,
+			// so a scan cannot pay off. A negative streak is the
+			// post-failure backoff — it climbs back to zero as
+			// ineligible probes replay per-event; winEnabled is
+			// decided once per Reset (NoSpinWindows, Ideal model).
+			if k, a0, a1, ok := m.eng.NextPeek(); ok && k == sim.EvSpin && m.winMaskBit(a0) {
+				m.tryWindow(Addr(a1))
+			}
+		}
 		kind, arg0, _, fired := m.eng.StepPayload()
 		if !fired {
 			m.done <- nil // queue drained: completion, or deadlock if live > 0
@@ -513,6 +573,7 @@ func (m *Machine) drive(p *Proc) {
 		var q *Proc
 		switch kind {
 		case sim.EvDispatch:
+			m.spinStreak = 0
 			q = m.procs[arg0]
 			if q.finished {
 				continue // stale wakeup for a processor that already returned
@@ -521,14 +582,18 @@ func (m *Machine) drive(p *Proc) {
 		case sim.EvSpin:
 			s := m.procs[arg0]
 			if s.finished {
+				m.spinStreak = 0
 				continue
 			}
 			s.localNow = m.eng.Now()
 			if !m.spinAdvance(s) {
+				m.spinStreak++
 				continue // still waiting: probes ran here, no handoff
 			}
+			m.spinStreak = 0
 			q = s // spin satisfied: resume the program at s.localNow
 		default:
+			m.spinStreak = 0
 			continue // closure event, already run in place
 		}
 		if q == p {

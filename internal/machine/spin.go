@@ -106,11 +106,17 @@ type spinState struct {
 	kind   uint8
 	phase  uint8
 	poll   bool // NUMA remote word: periodic polling instead of watching
-	addr   Addr
-	pred   Pred
-	bo     Backoff
-	cur    sim.Time // current backoff delay
-	val    Word     // last probed value; the spin's result
+	// winStatic is the spin-entry-time half of cross-processor window
+	// eligibility (window.go): a draw-free raw test&set on a model
+	// with a serializing resource. The dynamic half — the last probe
+	// read non-zero — is tracked in the machine's eligibility mask at
+	// each issue.
+	winStatic bool
+	addr      Addr
+	pred      Pred
+	bo        Backoff
+	cur       sim.Time // current backoff delay
+	val       Word     // last probed value; the spin's result
 }
 
 func (s *spinState) holds(v Word) bool {
@@ -150,6 +156,7 @@ func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
 	s.bo = bo
 	s.cur = bo.Base
 	s.poll = kind != spinTAS && p.m.cfg.Model == NUMA && p.m.home(a) != p.id
+	s.winStatic = p.m.winStatic(p, kind, a, bo)
 	s.phase = spReadIssue
 	if kind == spinTAS {
 		s.phase = spTASIssue
@@ -158,6 +165,9 @@ func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
 		p.m.drive(p)
 	}
 	s.active = false
+	if s.winStatic {
+		p.m.setWinMask(p.id, false) // the wait is over; no probe is pending
+	}
 	p.blockedOn = ""
 	return s.val
 }
@@ -235,6 +245,12 @@ func (m *Machine) spinAdvance(p *Proc) bool {
 			}
 			old, lat := p.tasIssue(s.addr)
 			s.val = old
+			if s.winStatic {
+				// Keep the window-eligibility mask current: the probe
+				// in flight is batchable iff it read a non-zero value
+				// (a zero read means this spinner wins at the judge).
+				m.setWinMask(p.id, old != 0)
+			}
 			if !p.spinComplete(lat, spTASJudge) {
 				return false
 			}

@@ -1,0 +1,350 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Cross-processor spin-window batching.
+//
+// PR 3's spinBatchTAS charges one processor's draw-free probe runs in
+// closed form, but it stops at the first pending event — and in a
+// contended storm the pending events are the *other* spinners' probes,
+// so an interleaved storm still replays every probe through the engine
+// queue. This file batches across processors: when every event the
+// engine will fire before a computable horizon is a raw test&set probe
+// with a draw-free constant-period schedule, the whole window
+// [now, horizon) is charged in closed form and the clock advances in
+// one step.
+//
+// Why that is exact. A saturated raw test&set storm serializes on one
+// resource — the single bus, or the probed word's home module on NUMA —
+// which serves exactly one probe per fixed period T (BusLatency on the
+// bus; LocalMem+RemoteMem for an all-remote module storm). Each probe
+// completion pops, judges its predicate (it provably fails: the word
+// stays non-zero, since the only in-window writes are the failing
+// test&sets' idempotent stores of 1), immediately issues the next
+// probe, and parks again. The probe completions therefore form a
+// strict rotation of the spinners in the (when, seq) order of their
+// pending events at window start: the j-th in-window pop fires at
+// F + j·T (F = the resource's free point), performs one RMW, one
+// traffic charge, one step/work debit, and consumes exactly one
+// sequence number for the successor it schedules. Every quantity the
+// simulation can observe — per-processor RMW and traffic counters,
+// resource occupancy, the step and sequence counters, the value each
+// probe reads, and the (when, seq) of each spinner's pending event at
+// the horizon — is then closed-form arithmetic in j. The window
+// detector verifies the preconditions of that argument and refuses
+// anything else, so enabling windows is bit-identical to per-event
+// execution by construction (Config.NoSpinWindows exists purely for
+// A/B tests and perf comparisons).
+//
+// Preconditions checked by tryWindow, and why each one matters:
+//
+//   - Every pending event before the horizon is an EvSpin whose
+//     processor sits in a raw-TAS spin (kind spinTAS, phase
+//     spTASJudge, zero Backoff — no RNG draws, no growing delay) on
+//     one shared address. Anything else — a dispatch, a closure, a
+//     TTAS burst probe, a jittered backoff probe, a woken read-spin —
+//     becomes the horizon instead, truncating (not aborting) the
+//     window.
+//   - The last probe it issued read a non-zero value (spin.val != 0):
+//     a spinner whose in-flight probe read 0 is about to win the word
+//     and leave the storm.
+//   - The probed word is non-zero with no watchers: the predicate
+//     stays false all window and no probe wakes anybody.
+//   - Bus: the word's exclusive owner is not the first spinner in
+//     rotation. In rotation every probe is preceded by a different
+//     processor's probe, so it is a full bus transaction; only the
+//     window's first probe could instead be a cache hit (and a
+//     spinBatchTAS candidate), which would break the uniform period.
+//   - NUMA: every window spinner is remote to the word's home module,
+//     so all probes share one service time. A local spinner (the home
+//     processor itself) has a shorter period and can trigger
+//     spinBatchTAS mid-storm; its events bound the window instead.
+//   - Saturation: the resource's free point F is at or past the last
+//     pending probe completion, so every in-window probe starts at F
+//     plus a whole number of periods. This holds whenever the pending
+//     completions were themselves scheduled by the resource (F *is*
+//     the last completion); the check guards the cold-start transient.
+//   - The pop budget: the window never charges more pops than the
+//     engine may still fire, so a livelocked storm trips ErrStepLimit
+//     at exactly the event where per-event execution would — but
+//     reaches it in one window instead of 10^8 pops.
+const (
+	// windowRetry is how many probes to wait before rescanning after a
+	// failed attempt (storms that are structurally ineligible — RNG
+	// backoff, watcher bursts — would otherwise pay a scan per probe);
+	// windowRetryStorm is the shorter wait when an eligible storm was
+	// found but transiently blocked (a winner mid-exit, a release in
+	// flight).
+	windowRetry      = 8
+	windowRetryStorm = 2
+	// windowMinPops is the smallest window worth committing.
+	windowMinPops = 2
+)
+
+// The eligibility bitmask. Scanning the queue per attempt must not
+// chase a pointer into every spinner's Proc struct, so the spin
+// machinery maintains one bit per processor: set exactly while the
+// processor's pending EvSpin (if any) is a window-eligible raw-TAS
+// probe completion that read a non-zero value. The static part
+// (spinState.winStatic) is computed once at spin entry; the dynamic
+// part follows the value each issued probe reads.
+
+func (m *Machine) setWinMask(pid int, ok bool) {
+	w := &m.winMask[pid>>6]
+	bit := uint64(1) << uint(pid&63)
+	if ok {
+		if *w&bit == 0 {
+			*w |= bit
+			m.winCount++
+		}
+	} else if *w&bit != 0 {
+		*w &^= bit
+		m.winCount--
+	}
+}
+
+func (m *Machine) winMaskBit(pid int32) bool {
+	return m.winMask[pid>>6]&(uint64(1)<<uint(pid&63)) != 0
+}
+
+// winStatic reports the spin-entry-time part of window eligibility:
+// a raw test&set (draw-free, constant period — no RNG jitter, no
+// growing delay) on a machine model with a serializing resource, and
+// on NUMA only a spinner remote to the word's home module (a local
+// spinner's shorter service period breaks the uniform rotation and can
+// trigger spinBatchTAS mid-storm).
+func (m *Machine) winStatic(p *Proc, kind uint8, a Addr, bo Backoff) bool {
+	if !m.winEnabled || kind != spinTAS || bo.Base != 0 || bo.PropJitter {
+		return false
+	}
+	switch m.cfg.Model {
+	case Bus:
+		return true
+	case NUMA:
+		return m.home(a) != p.id
+	}
+	return false
+}
+
+// sortSet orders set by (When, Seq) — the pop order at window start.
+// Only the cold-start fallback needs an explicit sort: in a saturated
+// storm the pending completions are exactly period-spaced, so
+// rotation positions are computed arithmetically (see tryWindow) and
+// the set stays unsorted. Insertion sort: the set is small and nearly
+// sorted (completions were scheduled in increasing time order).
+func sortSet(set []sim.WindowEvent) {
+	for i := 1; i < len(set); i++ {
+		e := set[i]
+		j := i - 1
+		for j >= 0 && (set[j].When > e.When || (set[j].When == e.When && set[j].Seq > e.Seq)) {
+			set[j+1] = set[j]
+			j--
+		}
+		set[j+1] = e
+	}
+}
+
+// tryWindow attempts one closed-form window advance; next is the
+// address the queue's earliest event is probing (from the drive
+// loop's peek). On failure it backs the trigger off; on success the
+// streak resets (the next pop is the horizon event). Called from the
+// drive loop only.
+func (m *Machine) tryWindow(next Addr) {
+	m.spinStreak = -windowRetry
+	// Cheap early-outs before paying for a queue scan: a rotation
+	// needs at least two eligible spinners, and a freed storm word
+	// means a takeover is in flight (the winner's zero-read probe must
+	// drain per-event before the storm can re-form).
+	if m.winCount < 2 {
+		return
+	}
+	if m.mem[next] == 0 {
+		m.spinStreak = -windowRetryStorm
+		return
+	}
+	eng := m.eng
+	pend := eng.Pending()
+	if pend < windowMinPops {
+		return
+	}
+
+	// Partition the queue in one engine-side pass: eligible probes of
+	// the anchor address (classified by the eligibility mask, no
+	// per-Proc pointer chasing) form the window candidates; the
+	// earliest other event is the horizon. Anchoring on the
+	// next-to-fire probe's address keeps a concurrent storm on another
+	// word from stealing the scan and leaving an empty window.
+	addr := next
+	set, horizonWhen, horizonSeq, haveHorizon := eng.ScanWindow(sim.EvSpin, int32(addr), m.winMask, m.winSet[:0])
+	m.winSet = set // keep the grown buffer
+	if len(set) == 0 {
+		return
+	}
+	tmin, tmax := set[0].When, set[0].When
+	if haveHorizon {
+		// Only probes ordered before the horizon fire in the window;
+		// track the window's time extent in the same pass.
+		k := 0
+		for _, e := range set {
+			if e.When < horizonWhen || (e.When == horizonWhen && e.Seq < horizonSeq) {
+				set[k] = e
+				k++
+				if e.When < tmin || k == 1 {
+					tmin = e.When
+				}
+				if e.When > tmax || k == 1 {
+					tmax = e.When
+				}
+			}
+		}
+		set = set[:k]
+	} else {
+		for _, e := range set[1:] {
+			if e.When < tmin {
+				tmin = e.When
+			}
+			if e.When > tmax {
+				tmax = e.When
+			}
+		}
+	}
+	n := len(set)
+	if n < 2 {
+		return // rotation (and its alternating-owner argument) needs >= 2
+	}
+
+	// A storm is present; any remaining blocker is transient (a winner
+	// draining out of the rotation, a release in flight), so retry
+	// sooner than the structural backoff would.
+	m.spinStreak = -windowRetryStorm
+	if m.mem[addr] == 0 || m.watchHead[addr] != 0 {
+		return
+	}
+	var period sim.Time
+	switch m.cfg.Model {
+	case Bus:
+		period = m.cfg.BusLatency
+	case NUMA:
+		period = m.cfg.LocalMem + m.cfg.RemoteMem
+	}
+	if period <= 0 {
+		return
+	}
+	var free sim.Time
+	if m.cfg.Model == Bus {
+		free = m.busFreeAt
+	} else {
+		free = m.modFreeAt[m.home(addr)]
+	}
+	if free < tmax {
+		return // cold-start transient: let the per-event path reach saturation
+	}
+
+	// Assign rotation positions — the (when, seq) pop order at window
+	// start. In a saturated storm the pending completions are exactly
+	// period-spaced (one probe per resource slot), so entry positions
+	// are recovered arithmetically as (When-tmin)/period, validated
+	// with a seen-bitmap; ties cannot bucket (distinct multiples). Any
+	// other spacing is a cold-start transient and takes the explicit
+	// sort instead.
+	seen := resetSlice(m.winSeen, (n+63)/64)
+	m.winSeen = seen
+	bucketed := true
+	firstPid := set[0].Arg0
+	for _, e := range set {
+		d := e.When - tmin
+		r := int(d / period)
+		if d%period != 0 || r >= n || seen[r>>6]&(uint64(1)<<uint(r&63)) != 0 {
+			bucketed = false
+			break
+		}
+		seen[r>>6] |= uint64(1) << uint(r&63)
+		if r == 0 {
+			firstPid = e.Arg0
+		}
+	}
+	if !bucketed {
+		sortSet(set)
+		firstPid = set[0].Arg0
+	}
+	if m.cfg.Model == Bus && m.owner[addr] == int16(firstPid)+1 {
+		return // first probe would be a cache hit, not a bus transaction
+	}
+
+	// How many pops fire before the horizon: the n pending probes, plus
+	// the rotated completions c_j = free + j*period with (c_j, seq0+j)
+	// ordered before the horizon — i.e. c_j < H (their seqs are larger
+	// than the horizon's, which was scheduled earlier).
+	nn := uint64(n)
+	total := nn
+	if haveHorizon {
+		if horizonWhen > free {
+			total += uint64((horizonWhen - free - 1) / period)
+		} else {
+			total = nn // horizon at or before the free point: only the pending probes fire
+		}
+	} else {
+		total = math.MaxUint64 // pure storm: nothing but probes; the budget caps it
+	}
+	if avail := eng.PopBudget(); total > avail {
+		total = avail
+	}
+	if total < windowMinPops {
+		return
+	}
+
+	// Commit. Pop j (1-based) is the probe completion of the spinner
+	// at rotation position (j-1) mod n; it issues the next probe,
+	// completing at free + j*period with sequence seq0 + j. The set is
+	// walked in whatever order the scan produced it: each entry's
+	// position recomputes from its timestamp (or its index, after the
+	// fallback sort). Two deliberate economies keep this loop free of
+	// per-spinner pointer chasing:
+	//
+	//   - RMW and traffic charges accumulate in the flat winRMWs array
+	//     and fold into the per-processor stats when Stats() snapshots
+	//     them (the counters are read nowhere else mid-run).
+	//   - spin.val is not materialized. Probe-by-probe it would be the
+	//     value the spinner's last probe read — the pre-window word for
+	//     the first prober, 1 after — but for a raw test&set wait val
+	//     is dead beyond its zero/non-zero-ness (the judge retries on
+	//     non-zero; SpinTAS discards the final value), and both the
+	//     pre-window val and every in-window read are provably
+	//     non-zero, so skipping the write is invisible.
+	seq0 := eng.Seq()
+	lastPos := (total - 1) % nn
+	var last int32
+	for i := range set {
+		r := uint64(i) + 1
+		if bucketed {
+			r = uint64((set[i].When-tmin)/period) + 1
+		}
+		if r > total {
+			continue // budget-capped window: this spinner never pops
+		}
+		if r-1 == lastPos {
+			last = set[i].Arg0
+		}
+		cnt := (total-r)/nn + 1
+		jLast := r + nn*(cnt-1)
+		m.winRMWs[set[i].Arg0] += cnt
+		eng.RetimePending(int(set[i].Index), free+sim.Time(jLast)*period, seq0+jLast)
+	}
+	m.mem[addr] = 1
+	if m.cfg.Model == Bus {
+		m.owner[addr] = int16(last) + 1
+		m.sharers[addr] = uint64(1) << uint(last)
+		m.busFreeAt = free + sim.Time(total)*period
+		m.stats.BusTxns += total
+	} else {
+		m.modFreeAt[m.home(addr)] = free + sim.Time(total)*period
+		m.stats.RemoteRefs += total
+	}
+	m.stats.WindowOps += total
+	eng.FinishWindow(total)
+	m.spinStreak = 0
+}

@@ -1,0 +1,272 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Tests for cross-processor spin-window batching (window.go). The
+// contract under test is exactness: enabling windows must change no
+// simulated quantity — cycles, traffic, per-processor counters, event
+// counts, sequence numbering, RNG stream positions — only host cost.
+
+// stormResult captures everything observable from one storm run.
+type stormResult struct {
+	Stats   Stats
+	RNGPos  []uint64 // one post-run draw per processor: pins stream positions
+	Counter Word
+	Err     string
+}
+
+// runStorm drives a critical-section storm: every processor loops
+// {think, acquire lock via its discipline, bump counter with a
+// read-delay-write, release}. The discipline is per-processor so mixed
+// storms can be expressed. WindowOps is scrubbed from the returned
+// stats (it is the one legitimately window-dependent field) and
+// reported separately.
+func runStorm(t *testing.T, cfg Config, iters int,
+	acquire func(p *Proc, lock Addr)) (stormResult, uint64) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := m.AllocShared(1)
+	counter := m.AllocShared(1)
+	pos := make([]uint64, m.Procs())
+	runErr := m.Run(func(p *Proc) {
+		rng := p.RNG()
+		for it := 0; it < iters; it++ {
+			p.Delay(rng.ExpTime(50))
+			acquire(p, lock)
+			v := p.Load(counter)
+			p.Delay(25)
+			p.Store(counter, v+1)
+			p.Store(lock, 0)
+		}
+		pos[p.ID()] = rng.Uint64()
+	})
+	res := stormResult{
+		Stats:   m.Stats(),
+		RNGPos:  pos,
+		Counter: m.Peek(counter),
+	}
+	if runErr != nil {
+		res.Err = runErr.Error()
+	}
+	win := res.Stats.WindowOps
+	res.Stats.WindowOps = 0
+	return res, win
+}
+
+// assertStormAB runs the same storm with windows enabled and disabled
+// and requires bit-identical results, returning the enabled run's
+// window-op count.
+func assertStormAB(t *testing.T, cfg Config, iters int,
+	acquire func(p *Proc, lock Addr)) uint64 {
+	t.Helper()
+	on, win := runStorm(t, cfg, iters, acquire)
+	offCfg := cfg
+	offCfg.NoSpinWindows = true
+	off, offWin := runStorm(t, offCfg, iters, acquire)
+	if offWin != 0 {
+		t.Fatalf("NoSpinWindows run still batched %d window ops", offWin)
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("%s P=%d: windows on/off diverged:\n on:  %+v\n off: %+v",
+			cfg.Model, cfg.Procs, on, off)
+	}
+	return win
+}
+
+func rawTAS(p *Proc, lock Addr) { p.SpinTAS(lock, Backoff{}) }
+
+// TestSpinWindowBitIdentical is the core exactness regression: raw
+// test&set storms across models and contention regimes, windows on vs
+// forced off, everything compared — including per-processor stats and
+// RNG stream positions.
+func TestSpinWindowBitIdentical(t *testing.T) {
+	for _, model := range []Model{Bus, NUMA} {
+		for _, procs := range []int{2, 8, 32} {
+			win := assertStormAB(t, Config{Procs: procs, Model: model, Seed: 7}, 20, rawTAS)
+			if procs >= 8 && win == 0 {
+				t.Errorf("%s P=%d: windows never engaged on a raw storm", model, procs)
+			}
+		}
+	}
+}
+
+// TestSpinWindowHeapMode pins the retime path of the heap queue
+// layout: above the linear threshold the window must still commit and
+// stay exact.
+func TestSpinWindowHeapMode(t *testing.T) {
+	win := assertStormAB(t, Config{Procs: 64, Model: NUMA, Seed: 3}, 8, rawTAS)
+	if win == 0 {
+		t.Error("P=64 NUMA storm engaged no windows (heap-mode retime untested)")
+	}
+}
+
+// TestSpinWindowMixedBackoffStorm mixes draw-free raw spinners with
+// RNG-jittered backoff spinners on one word. The jittered spinners are
+// ineligible, so their probes bound every window (partial windows may
+// still form among the raw spinners); the run must stay bit-identical
+// with batching forced off — in particular every jitter draw must
+// happen in the same stream position.
+func TestSpinWindowMixedBackoffStorm(t *testing.T) {
+	mixed := func(p *Proc, lock Addr) {
+		if p.ID()%2 == 1 {
+			p.SpinTAS(lock, Backoff{Base: 16, Cap: 1024, PropJitter: true})
+			return
+		}
+		p.SpinTAS(lock, Backoff{})
+	}
+	for _, model := range []Model{Bus, NUMA} {
+		for _, procs := range []int{2, 8, 32} {
+			assertStormAB(t, Config{Procs: procs, Model: model, Seed: 11}, 15, mixed)
+		}
+	}
+}
+
+// TestSpinWindowTTASStorm mixes raw test&set spinners with TTAS
+// waiters on the same word. TTAS waiters alternate between watcher
+// parking (which blocks windows on the word) and wake bursts (during
+// which windows may legally form, bounded by the waiters' re-check
+// events); whatever mixture results must be bit-identical with
+// batching forced off.
+func TestSpinWindowTTASStorm(t *testing.T) {
+	mixed := func(p *Proc, lock Addr) {
+		if p.ID()%2 == 1 {
+			p.SpinTTAS(lock)
+			return
+		}
+		p.SpinTAS(lock, Backoff{})
+	}
+	for _, procs := range []int{8, 32} {
+		assertStormAB(t, Config{Procs: procs, Model: Bus, Seed: 5}, 15, mixed)
+	}
+}
+
+// TestSpinWindowWatchedWordRefusal pins the watcher precondition: with
+// the lock permanently held, every TTAS waiter parks on the watcher
+// list for good, so the word is watched for the storm's entire
+// lifetime and no window may ever form across it.
+func TestSpinWindowWatchedWordRefusal(t *testing.T) {
+	run := func(noWin bool) (string, Stats) {
+		m, err := New(Config{Procs: 8, Model: Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lock := m.AllocShared(1)
+		m.Poke(lock, 1) // held forever
+		runErr := m.Run(func(p *Proc) {
+			if p.ID()%2 == 1 {
+				p.SpinTTAS(lock)
+				return
+			}
+			p.SpinTAS(lock, Backoff{})
+		})
+		if !errors.Is(runErr, sim.ErrStepLimit) {
+			t.Fatalf("want ErrStepLimit, got %v", runErr)
+		}
+		return runErr.Error(), m.Stats()
+	}
+	msg, st := run(false)
+	if st.WindowOps != 0 {
+		t.Errorf("windows batched %d ops across a permanently watched word", st.WindowOps)
+	}
+	offMsg, offStats := run(true)
+	st.WindowOps = 0
+	offStats.WindowOps = 0
+	if msg != offMsg || !reflect.DeepEqual(st, offStats) {
+		t.Errorf("watched-word runs diverged:\n on:  %s %+v\n off: %s %+v", msg, st, offMsg, offStats)
+	}
+}
+
+// TestSpinWindowLivelockTrip pins the budget interaction: a storm on a
+// word that is never released must trip ErrStepLimit with exactly the
+// same step count, clock, and error text as per-event execution — but
+// the windowed run reaches the budget in closed form instead of
+// replaying every probe.
+func TestSpinWindowLivelockTrip(t *testing.T) {
+	run := func(noWin bool) (string, Stats) {
+		m, err := New(Config{Procs: 8, Model: Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lock := m.AllocShared(1)
+		m.Poke(lock, 1) // held forever: the storm can never win
+		runErr := m.Run(func(p *Proc) {
+			p.SpinTAS(lock, Backoff{})
+		})
+		if !errors.Is(runErr, sim.ErrStepLimit) {
+			t.Fatalf("want ErrStepLimit, got %v", runErr)
+		}
+		st := m.Stats()
+		st.WindowOps = 0
+		return runErr.Error(), st
+	}
+	onMsg, onStats := run(false)
+	offMsg, offStats := run(true)
+	if onMsg != offMsg {
+		t.Errorf("livelock errors diverged:\n on:  %s\n off: %s", onMsg, offMsg)
+	}
+	if !reflect.DeepEqual(onStats, offStats) {
+		t.Errorf("livelock stats diverged:\n on:  %+v\n off: %+v", onStats, offStats)
+	}
+	if !strings.Contains(onMsg, "step limit") {
+		t.Errorf("unexpected error text: %s", onMsg)
+	}
+}
+
+// TestSpinWindowPooledReset pins that Reset clears every piece of
+// window state: a machine that just ran a heavy storm must reproduce a
+// fresh machine's results exactly, including the window decisions.
+func TestSpinWindowPooledReset(t *testing.T) {
+	cfg := Config{Procs: 16, Model: Bus, Seed: 9}
+	fresh, freshWin := runStorm(t, cfg, 15, rawTAS)
+
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the machine with a different storm, then Reset and re-run
+	// the reference workload on the same machine via the same helper
+	// path (reconstructing state by hand would miss scratch buffers).
+	lock := m.AllocShared(1)
+	if err := m.Run(func(p *Proc) { p.SpinTAS(lock, Backoff{}); p.Store(lock, 0) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	lock2 := m.AllocShared(1)
+	counter2 := m.AllocShared(1)
+	pos := make([]uint64, m.Procs())
+	if err := m.Run(func(p *Proc) {
+		rng := p.RNG()
+		for it := 0; it < 15; it++ {
+			p.Delay(rng.ExpTime(50))
+			rawTAS(p, lock2)
+			v := p.Load(counter2)
+			p.Delay(25)
+			p.Store(counter2, v+1)
+			p.Store(lock2, 0)
+		}
+		pos[p.ID()] = rng.Uint64()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reset := stormResult{Stats: m.Stats(), RNGPos: pos, Counter: m.Peek(counter2)}
+	resetWin := reset.Stats.WindowOps
+	reset.Stats.WindowOps = 0
+	if !reflect.DeepEqual(fresh, reset) {
+		t.Errorf("reset machine diverged from fresh:\n fresh: %+v\n reset: %+v", fresh, reset)
+	}
+	if freshWin != resetWin {
+		t.Errorf("window decisions diverged after Reset: fresh %d, reset %d", freshWin, resetWin)
+	}
+}

@@ -191,6 +191,132 @@ func (e *Engine) Reset() {
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Seq returns the scheduling sequence counter: the seq of the most
+// recently scheduled event. Closed-form window accounting uses it to
+// compute the sequence numbers that elided AtEvent calls would have
+// consumed.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingEvent is a read-only view of one queued event, exposed so the
+// simulation layer can run queue-wide analyses — the machine layer's
+// spin-window detector scans the whole queue to find a quiescent
+// horizon. Index order is the queue's internal layout order, not
+// firing order.
+type PendingEvent struct {
+	When Time
+	Seq  uint64
+	Kind EventKind
+	Arg0 int32
+	Arg1 int32
+}
+
+// PendingAt returns the i-th pending event in internal layout order.
+// The index is stable only until the next scheduling or stepping call.
+func (e *Engine) PendingAt(i int) PendingEvent {
+	ev := &e.events[i]
+	return PendingEvent{When: ev.when, Seq: ev.seq, Kind: ev.kind, Arg0: ev.arg0, Arg1: ev.arg1}
+}
+
+// WindowEvent is one window-candidate event collected by ScanWindow:
+// payload plus the queue index a Retime needs.
+type WindowEvent struct {
+	When  Time
+	Seq   uint64
+	Arg0  int32
+	Index int32
+}
+
+// ScanWindow partitions the pending events for a closed-form window in
+// one pass: events of kind `kind` whose Arg0 bit is set in eligible
+// and whose Arg1 equals arg1 — the caller anchors the window on the
+// next-to-fire event's address, so concurrent storms on other words
+// cannot steal the scan — are appended to buf (reused across calls;
+// pass buf[:0]); every other event lowers the returned horizon, the
+// earliest (when, seq) the window must not reach. This is the hot half
+// of the machine layer's spin-window detector, kept inside the engine
+// so the scan touches the event array directly instead of copying
+// every entry out through PendingAt.
+func (e *Engine) ScanWindow(kind EventKind, arg1 int32, eligible []uint64, buf []WindowEvent) (
+	set []WindowEvent, horizonWhen Time, horizonSeq uint64, haveHorizon bool) {
+	for i := range e.events {
+		ev := &e.events[i]
+		if ev.kind == kind && ev.arg1 == arg1 {
+			a0 := ev.arg0
+			if eligible[a0>>6]&(uint64(1)<<uint(a0&63)) != 0 {
+				buf = append(buf, WindowEvent{When: ev.when, Seq: ev.seq, Arg0: a0, Index: int32(i)})
+				continue
+			}
+		}
+		if !haveHorizon || ev.when < horizonWhen || (ev.when == horizonWhen && ev.seq < horizonSeq) {
+			haveHorizon, horizonWhen, horizonSeq = true, ev.when, ev.seq
+		}
+	}
+	return buf, horizonWhen, horizonSeq, haveHorizon
+}
+
+// PopBudget returns how many further events may fire before the step
+// limit trips (Step/StepPayload charge one unit of work per event, and
+// Exhausted reports work > maxSteps). Closed-form window accounting
+// caps its elided pops here so a livelocked storm still trips
+// ErrStepLimit at exactly the event where per-event execution would.
+func (e *Engine) PopBudget() uint64 {
+	if e.work >= e.maxSteps {
+		return 0
+	}
+	return e.maxSteps - e.work
+}
+
+// Retime re-addresses one pending event inside ApplyWindow: the entry
+// at Index (a PendingAt index) moves to absolute time When with
+// sequence number Seq, exactly as if it had been popped and a
+// successor scheduled there.
+type Retime struct {
+	Index int
+	When  Time
+	Seq   uint64
+}
+
+// RetimePending re-addresses the pending event at index i to (when,
+// seq), exactly as if it had been popped and a successor scheduled
+// there. Only valid between queue-stable points; the caller must
+// finish the batch with FinishWindow (or use ApplyWindow, which wraps
+// both) so counters and queue order are restored. Small enough to
+// inline into the machine layer's window-commit loop.
+func (e *Engine) RetimePending(i int, when Time, seq uint64) {
+	e.events[i].when = when
+	e.events[i].seq = seq
+}
+
+// FinishWindow charges pops elided event firings — the step, work, and
+// sequence counters advance as if pops events had been popped and each
+// had scheduled one successor — and restores queue order after a batch
+// of RetimePending calls.
+func (e *Engine) FinishWindow(pops uint64) {
+	e.steps += pops
+	e.work += pops
+	e.seq += pops
+	if e.linear {
+		e.rescanMin()
+	} else {
+		e.heapify()
+	}
+}
+
+// ApplyWindow commits a closed-form fast-forward of pops event
+// firings with the listed pending entries retimed to their post-window
+// positions. The caller (the machine layer's spin-window batcher) is
+// responsible for the equivalence argument: every retimed (When, Seq)
+// must be what probe-by-probe execution would have left pending, pops
+// must not exceed PopBudget(), and Seq values must lie in
+// (Seq(), Seq()+pops]. The engine clock is not advanced; it catches up
+// at the next pop, which no simulated quantity can observe.
+func (e *Engine) ApplyWindow(pops uint64, retimes []Retime) {
+	for _, r := range retimes {
+		e.RetimePending(r.Index, r.When, r.Seq)
+	}
+	e.FinishWindow(pops)
+}
+
 // NextTime returns the timestamp of the earliest pending event and
 // whether one exists. This is what makes conservative lookahead possible
 // in the machine layer: an operation whose completion time precedes every
@@ -204,6 +330,23 @@ func (e *Engine) NextTime() (Time, bool) {
 		return e.events[e.minIdx].when, true
 	}
 	return e.events[0].when, true
+}
+
+// NextPeek returns the kind and payload arguments of the earliest
+// pending event, without firing it — the cheap peek the machine
+// layer's window trigger uses to decide whether a queue scan could pay
+// off (a window can only form when the very next event is itself an
+// eligible probe of a live storm; anything else would be the horizon
+// and leave the window empty).
+func (e *Engine) NextPeek() (EventKind, int32, int32, bool) {
+	if len(e.events) == 0 {
+		return 0, 0, 0, false
+	}
+	i := 0
+	if e.linear {
+		i = e.minIdx
+	}
+	return e.events[i].kind, e.events[i].arg0, e.events[i].arg1, true
 }
 
 // clamp keeps the clock monotonic: scheduling in the past is an error in

@@ -416,3 +416,178 @@ func TestRNGTimeRange(t *testing.T) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Window-advance API (PendingAt / PopBudget / ApplyWindow)
+// ---------------------------------------------------------------------
+
+// TestPendingAtCoversQueue pins that the pending-event scan exposes
+// every queued event exactly once with the payload it was scheduled
+// with, in both queue layouts.
+func TestPendingAtCoversQueue(t *testing.T) {
+	for _, n := range []int{5, linearMax + 10} {
+		e := NewEngine()
+		for i := 0; i < n; i++ {
+			e.AtEvent(Time(100-i), EvSpin, int32(i), int32(2*i))
+		}
+		if e.Pending() != n {
+			t.Fatalf("Pending = %d, want %d", e.Pending(), n)
+		}
+		seen := make(map[int32]PendingEvent, n)
+		for i := 0; i < e.Pending(); i++ {
+			ev := e.PendingAt(i)
+			seen[ev.Arg0] = ev
+		}
+		if len(seen) != n {
+			t.Fatalf("scan saw %d distinct events, want %d", len(seen), n)
+		}
+		for i := 0; i < n; i++ {
+			ev := seen[int32(i)]
+			if ev.When != Time(100-i) || ev.Kind != EvSpin || ev.Arg1 != int32(2*i) || ev.Seq != uint64(i+1) {
+				t.Fatalf("event %d = %+v, want when=%d arg1=%d seq=%d", i, ev, 100-i, 2*i, i+1)
+			}
+		}
+	}
+}
+
+// TestApplyWindowEquivalence drives the same schedule two ways — fully
+// event by event, and with a middle run of pops replaced by
+// ApplyWindow — and requires identical counters, identical remaining
+// pop order, and identical sequence numbering for events scheduled
+// afterwards.
+func TestApplyWindowEquivalence(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		e.SetHandler(func(EventKind, int32, int32) {})
+		// Three "spinners" at 10/20/30 plus a horizon event at 100.
+		e.AtEvent(10, EvSpin, 0, 0)
+		e.AtEvent(20, EvSpin, 1, 0)
+		e.AtEvent(30, EvSpin, 2, 0)
+		e.AtEvent(100, EvDispatch, 9, 0)
+		return e
+	}
+
+	// Reference: pop the three spins, each rescheduling one successor
+	// past the horizon (what a probe rotation leaves behind).
+	ref := build()
+	for i := 0; i < 3; i++ {
+		kind, arg0, _, fired := ref.StepPayload()
+		if !fired || kind != EvSpin {
+			t.Fatalf("pop %d: kind=%v fired=%v", i, kind, fired)
+		}
+		ref.AtEvent(Time(110+10*int(arg0)), EvSpin, arg0, 0)
+	}
+
+	// Windowed: commit the same three pops in closed form.
+	win := build()
+	var retimes []Retime
+	seq0 := win.Seq()
+	for i := 0; i < win.Pending(); i++ {
+		ev := win.PendingAt(i)
+		if ev.Kind != EvSpin {
+			continue
+		}
+		// Spinner arg0 was popped as pop arg0+1 and rescheduled at
+		// 110+10*arg0 with the (arg0+1)-th elided sequence number.
+		retimes = append(retimes, Retime{Index: i, When: Time(110 + 10*int(ev.Arg0)), Seq: seq0 + uint64(ev.Arg0) + 1})
+	}
+	win.ApplyWindow(3, retimes)
+
+	if ref.Steps() != win.Steps() {
+		t.Fatalf("steps diverge: ref %d, win %d", ref.Steps(), win.Steps())
+	}
+	if ref.Seq() != win.Seq() {
+		t.Fatalf("seq diverge: ref %d, win %d", ref.Seq(), win.Seq())
+	}
+	if ref.PopBudget() != win.PopBudget() {
+		t.Fatalf("pop budget diverge: ref %d, win %d", ref.PopBudget(), win.PopBudget())
+	}
+	// Both schedule one more event (must draw the same seq), then the
+	// remaining queues must pop identically.
+	ref.AtEvent(105, EvDispatch, 7, 0)
+	win.AtEvent(105, EvDispatch, 7, 0)
+	for {
+		rk, ra, _, rf := ref.StepPayload()
+		wk, wa, _, wf := win.StepPayload()
+		if rk != wk || ra != wa || rf != wf || ref.Now() != win.Now() {
+			t.Fatalf("pop diverged: ref (%v,%d,%v)@%d vs win (%v,%d,%v)@%d",
+				rk, ra, rf, ref.Now(), wk, wa, wf, win.Now())
+		}
+		if !rf {
+			break
+		}
+	}
+}
+
+// TestApplyWindowHeapMode re-times entries while the queue is in heap
+// mode and checks the heap invariant is restored.
+func TestApplyWindowHeapMode(t *testing.T) {
+	e := NewEngine()
+	e.SetHandler(func(EventKind, int32, int32) {})
+	n := linearMax + 16
+	for i := 0; i < n; i++ {
+		e.AtEvent(Time(10+i), EvSpin, int32(i), 0)
+	}
+	if e.linear {
+		t.Fatal("queue should be in heap mode")
+	}
+	// Push the earliest 8 entries to the back of the schedule.
+	var retimes []Retime
+	for i := 0; i < e.Pending(); i++ {
+		ev := e.PendingAt(i)
+		if ev.When < Time(10+8) {
+			retimes = append(retimes, Retime{Index: i, When: ev.When + Time(1000), Seq: e.Seq() + uint64(ev.Arg0) + 1})
+		}
+	}
+	e.ApplyWindow(8, retimes)
+	// The retimed entries must drain in exactly the recomputed order:
+	// the untouched events 8..n-1 at their original times, then the
+	// retimed 0..7 at original+1000 (their new seqs preserve arrival
+	// order within the group).
+	var got []int32
+	for e.Pending() > 0 {
+		_, arg0, _, fired := e.StepPayload()
+		if !fired {
+			break
+		}
+		got = append(got, arg0)
+	}
+	var want []int32
+	for i := 8; i < n; i++ {
+		want = append(want, int32(i))
+	}
+	for i := 0; i < 8; i++ {
+		want = append(want, int32(i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap-mode drain order diverged at %d: got %v, want %v", i, got[:i+1], want[:i+1])
+		}
+	}
+}
+
+// TestPopBudgetMatchesExhaustion pins PopBudget against the actual
+// trip point of the step limit.
+func TestPopBudgetMatchesExhaustion(t *testing.T) {
+	e := NewEngine()
+	e.SetHandler(func(EventKind, int32, int32) {})
+	e.SetMaxSteps(5)
+	for i := 0; i < 10; i++ {
+		e.AtEvent(Time(i), EvSpin, 0, 0)
+	}
+	for !e.Exhausted() {
+		if e.PopBudget() == 0 {
+			// Budget zero: the very next pop must trip.
+			e.Step()
+			if !e.Exhausted() {
+				t.Fatal("pop after zero budget did not exhaust the engine")
+			}
+			return
+		}
+		e.Step()
+	}
+	t.Fatal("engine exhausted while budget was still positive")
+}

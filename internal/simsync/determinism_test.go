@@ -39,16 +39,20 @@ func forEachConfig(t *testing.T, fn func(model machine.Model, procs int)) {
 }
 
 // assertIdentical runs measure twice and compares the full Stats
-// structure except the host-side efficiency fields (Events and
+// structure including the host-side efficiency fields (Events and
 // InlineOps are also compared: the fast-path decisions themselves are
-// deterministic functions of the simulation state).
-func assertIdentical(t *testing.T, name string, measure func() (machine.Stats, error)) {
+// deterministic functions of the simulation state). A third run forces
+// cross-processor spin-window batching off and must match the enabled
+// runs on everything except WindowOps itself — event counts and
+// sequence-dependent interleavings included, since windowed pops are
+// charged to the same counters the per-event path uses.
+func assertIdentical(t *testing.T, name string, measure func(noWindows bool) (machine.Stats, error)) {
 	t.Helper()
-	a, err := measure()
+	a, err := measure(false)
 	if err != nil {
 		t.Fatalf("%s: first run: %v", name, err)
 	}
-	b, err := measure()
+	b, err := measure(false)
 	if err != nil {
 		t.Fatalf("%s: second run: %v", name, err)
 	}
@@ -58,6 +62,17 @@ func assertIdentical(t *testing.T, name string, measure func() (machine.Stats, e
 	if a.Cycles == 0 {
 		t.Errorf("%s: run did no simulated work", name)
 	}
+	c, err := measure(true)
+	if err != nil {
+		t.Fatalf("%s: windows-off run: %v", name, err)
+	}
+	if c.WindowOps != 0 {
+		t.Fatalf("%s: NoSpinWindows run still batched %d window ops", name, c.WindowOps)
+	}
+	a.WindowOps = 0
+	if !reflect.DeepEqual(a, c) {
+		t.Errorf("%s: window batching changed results:\n  on:  %+v\n  off: %+v", name, a, c)
+	}
 }
 
 func TestDeterminismLocks(t *testing.T) {
@@ -65,9 +80,9 @@ func TestDeterminismLocks(t *testing.T) {
 		for _, info := range Locks() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
-			assertIdentical(t, name, func() (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunLock(
-					machine.Config{Procs: procs, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
 					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
 				return res.Stats, err
 			})
@@ -80,9 +95,9 @@ func TestDeterminismBarriers(t *testing.T) {
 		for _, info := range Barriers() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
-			assertIdentical(t, name, func() (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunBarrier(
-					machine.Config{Procs: procs, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
 					info, BarrierOpts{Episodes: 10, Work: 150})
 				return res.Stats, err
 			})
@@ -95,9 +110,9 @@ func TestDeterminismRWLocks(t *testing.T) {
 		for _, info := range RWLocks() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
-			assertIdentical(t, name, func() (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunRW(
-					machine.Config{Procs: procs, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
 					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
 				return res.Stats, err
 			})
@@ -110,9 +125,9 @@ func TestDeterminismSemaphores(t *testing.T) {
 		for _, info := range Semaphores() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
-			assertIdentical(t, name, func() (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunProducerConsumer(
-					machine.Config{Procs: procs, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
 					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
 				return res.Stats, err
 			})
@@ -125,9 +140,9 @@ func TestDeterminismCounters(t *testing.T) {
 		for _, info := range Counters() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
-			assertIdentical(t, name, func() (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunCounter(
-					machine.Config{Procs: procs, Model: model, Seed: 7},
+					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
 					info, CounterOpts{Incs: 30, Think: 20})
 				return res.Stats, err
 			})
@@ -207,4 +222,58 @@ func TestPooledRunsMatchFresh(t *testing.T) {
 				i, c.lock, fresh[i], res)
 		}
 	}
+}
+
+// mixedStormLock drives a deliberately heterogeneous storm on one
+// word: even processors use the draw-free raw test&set (window
+// eligible), odd processors the RNG-jittered exponential backoff of
+// tas-bo (ineligible — every delay consumes a jitter draw). The
+// ineligible probes bound every window, so batching degrades to
+// partial windows or none; what it must never do is change a result.
+type mixedStormLock struct {
+	l machine.Addr
+}
+
+func (ml *mixedStormLock) Name() string { return "mixed-storm" }
+
+func (ml *mixedStormLock) Acquire(p *machine.Proc) {
+	if p.ID()%2 == 1 {
+		p.SpinTAS(ml.l, machine.Backoff{Base: 16, Cap: 1024, PropJitter: true})
+		return
+	}
+	p.SpinTAS(ml.l, machine.Backoff{})
+}
+
+func (ml *mixedStormLock) Release(p *machine.Proc) {
+	p.Store(ml.l, 0)
+}
+
+// TestDeterminismMixedFamilyStorm pins window ineligibility of
+// RNG-backoff schedules: a storm mixing draw-free TAS spinners with
+// tas-bo-style jittered spinners must fall back to (at most partially
+// windowed) per-event execution and stay bit-identical with window
+// batching forced off — same cycles, traffic, event counts, and jitter
+// draws in the same RNG stream positions (any skipped or reordered
+// draw would shift every subsequent think time and show up in Cycles
+// and AcqPerProc).
+func TestDeterminismMixedFamilyStorm(t *testing.T) {
+	info := LockInfo{Name: "mixed-storm", Make: func(m *machine.Machine) Lock {
+		return &mixedStormLock{l: m.AllocShared(1)}
+	}}
+	forEachConfig(t, func(model machine.Model, procs int) {
+		name := fmt.Sprintf("%s/mixed-storm/P%d", model, procs)
+		opts := LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true}
+		on, err := RunLock(machine.Config{Procs: procs, Model: model, Seed: 13}, info, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		off, err := RunLock(machine.Config{Procs: procs, Model: model, Seed: 13, NoSpinWindows: true}, info, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		on.Stats.WindowOps = 0
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("%s: window batching changed results:\n  on:  %+v\n  off: %+v", name, on, off)
+		}
+	})
 }

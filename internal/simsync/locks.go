@@ -57,7 +57,11 @@ func (t *tasLock) Acquire(p *machine.Proc) {
 	// The raw probe storm, engine-batched: every retry is still an
 	// atomic read-modify-write hammering the interconnect, but the
 	// whole run of failed probes is charged without waking this
-	// goroutine once per probe.
+	// goroutine once per probe. The zero Backoff declares the schedule
+	// draw-free and constant-period, which is exactly what makes a
+	// contended tas storm eligible for cross-processor spin windows:
+	// interleaved probes from many spinners fast-forward in closed
+	// form (machine/window.go).
 	p.SpinTAS(t.l, machine.Backoff{})
 }
 
@@ -85,6 +89,13 @@ func NewTTAS(m *machine.Machine) Lock {
 func (t *ttasLock) Name() string { return "ttas" }
 
 func (t *ttasLock) Acquire(p *machine.Proc) {
+	// The read-spin phase is event-silent on a coherent machine
+	// (watcher-parked until a write invalidates) and jitter-polled on
+	// NUMA, and the post-release test&set burst falls back to the read
+	// spin on failure — so TTAS waits never enter a constant-period
+	// probe rotation. They are window-ineligible by construction:
+	// their events (and the watchers they leave on the lock word)
+	// bound any raw-TAS window instead of joining it.
 	p.SpinTTAS(t.l)
 }
 
@@ -136,7 +147,12 @@ func (t *backoffLock) Acquire(p *machine.Proc) {
 	// Anderson-style bounded exponential backoff with proportional
 	// jitter: delay cur + rng.Time(cur) after each failed probe, cur
 	// doubling up to Cap. The schedule (and its RNG draws) is replayed
-	// by the engine's spin machine, probe for probe.
+	// by the engine's spin machine, probe for probe. PropJitter
+	// declares the schedule RNG-dependent, which makes these waits
+	// window-ineligible: every probe must consume its jitter draw at
+	// the right stream position, so tas-bo storms replay per-event and
+	// their pending probes act as window horizons (the mixed-storm
+	// determinism test pins the fallback).
 	p.SpinTAS(t.l, machine.Backoff{Base: t.params.Base, Cap: t.params.Cap, PropJitter: true})
 }
 
@@ -285,7 +301,10 @@ func (g *gtLock) Acquire(p *machine.Proc) {
 	prevIdx := int(old >> 1)
 	prevVal := old & 1
 	// Wait until the predecessor flips its flag away from the value it
-	// had when it enqueued.
+	// had when it enqueued. A read-spin on a per-processor flag: like
+	// every SpinUntilPred wait (qsync's local spins included) it is
+	// window-ineligible by kind — watcher-parked on Bus, jitter-polled
+	// on remote NUMA words — and never appears in a probe rotation.
 	p.SpinUntilPred(g.flags+machine.Addr(prevIdx),
 		machine.Pred{Op: machine.PredNe, Mask: 1, Want: prevVal})
 }

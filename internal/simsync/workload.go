@@ -278,10 +278,19 @@ func RunBarrierIn(pool *machine.Pool, cfg machine.Config, info BarrierInfo, opts
 // UncontendedLockCost measures the latency in cycles of a single
 // acquire/release pair with no contention whatsoever (T1).
 func UncontendedLockCost(model machine.Model, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
-	m, err := machine.New(machine.Config{Procs: 1, Model: model})
+	return UncontendedLockCostIn(nil, model, info)
+}
+
+// UncontendedLockCostIn is UncontendedLockCost drawing its machine
+// from pool (see machines.go): the T1 table and its benchmark measure
+// one acquire/release pair per machine, so without pooling the
+// dominant cost of the sweep is machine construction, not simulation.
+func UncontendedLockCostIn(pool *machine.Pool, model machine.Model, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
+	m, err := getMachine(pool, machine.Config{Procs: 1, Model: model})
 	if err != nil {
 		return 0, 0, err
 	}
+	defer putMachine(pool, m)
 	lock := info.Make(m)
 	var start, end sim.Time
 	var trafBefore uint64
