@@ -20,12 +20,13 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
 // simLockBench runs one simulated lock configuration per b.N batch and
 // reports cycles and traffic per acquisition.
-func simLockBench(b *testing.B, model machine.Model, lockName string, procs int) {
+func simLockBench(b *testing.B, tp topo.Topology, lockName string, procs int) {
 	info, ok := simsync.LockByName(lockName)
 	if !ok {
 		b.Fatalf("unknown lock %q", lockName)
@@ -33,7 +34,7 @@ func simLockBench(b *testing.B, model machine.Model, lockName string, procs int)
 	var cyc, traf float64
 	for i := 0; i < b.N; i++ {
 		res, err := simsync.RunLock(
-			machine.Config{Procs: procs, Model: model, Seed: uint64(i + 1)},
+			machine.Config{Procs: procs, Topo: tp, Seed: uint64(i + 1)},
 			info,
 			simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
 		)
@@ -47,7 +48,7 @@ func simLockBench(b *testing.B, model machine.Model, lockName string, procs int)
 }
 
 // simBarrierBench likewise for barriers.
-func simBarrierBench(b *testing.B, model machine.Model, barName string, procs int) {
+func simBarrierBench(b *testing.B, tp topo.Topology, barName string, procs int) {
 	info, ok := simsync.BarrierByName(barName)
 	if !ok {
 		b.Fatalf("unknown barrier %q", barName)
@@ -55,7 +56,7 @@ func simBarrierBench(b *testing.B, model machine.Model, barName string, procs in
 	var cyc, traf float64
 	for i := 0; i < b.N; i++ {
 		res, err := simsync.RunBarrier(
-			machine.Config{Procs: procs, Model: model, Seed: uint64(i + 1)},
+			machine.Config{Procs: procs, Topo: tp, Seed: uint64(i + 1)},
 			info,
 			simsync.BarrierOpts{Episodes: 12, Work: 150},
 		)
@@ -105,7 +106,7 @@ func BenchmarkMachineSpinContended(b *testing.B) {
 			var ops, acqs uint64
 			for i := 0; i < b.N; i++ {
 				res, err := simsync.RunLock(
-					machine.Config{Procs: 8, Model: machine.Bus, Seed: uint64(i + 1),
+					machine.Config{Procs: 8, Topo: topo.Bus, Seed: uint64(i + 1),
 						SharedWords: 1 << 12, LocalWords: 1 << 8},
 					info,
 					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
@@ -142,7 +143,7 @@ func BenchmarkMachineSpinBatched(b *testing.B) {
 			var ops, acqs uint64
 			for i := 0; i < b.N; i++ {
 				res, err := simsync.RunLockIn(pool,
-					machine.Config{Procs: 8, Model: machine.Bus, Seed: uint64(i + 1),
+					machine.Config{Procs: 8, Topo: topo.Bus, Seed: uint64(i + 1),
 						SharedWords: 1 << 12, LocalWords: 1 << 8},
 					info,
 					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
@@ -183,7 +184,7 @@ func BenchmarkMachineStormBatched(b *testing.B) {
 			var ops, acqs uint64
 			for i := 0; i < b.N; i++ {
 				res, err := simsync.RunLockIn(pool,
-					machine.Config{Procs: 32, Model: machine.Bus, Seed: uint64(i + 1),
+					machine.Config{Procs: 32, Topo: topo.Bus, Seed: uint64(i + 1),
 						SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: tc.noWin},
 					info,
 					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
@@ -201,6 +202,64 @@ func BenchmarkMachineStormBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineClusterStorm — the same 32-processor raw test&set
+// storm on the two-level cluster topology. Cluster storms are
+// spin-window ineligible by construction (distance-dependent probe
+// periods break the uniform rotation), so this benchmark tracks the
+// per-event engine path on the hierarchical machine: the cost every
+// NUMA-aware placement scenario pays. The sharded pair (ctr-sharded
+// under the same pool) shows what group-home placement buys back.
+func BenchmarkMachineClusterStorm(b *testing.B) {
+	b.Run("lock/tas", func(b *testing.B) {
+		info, ok := simsync.LockByName("tas")
+		if !ok {
+			b.Fatal("tas lock missing")
+		}
+		b.ReportAllocs()
+		pool := new(machine.Pool)
+		var ops, acqs uint64
+		for i := 0; i < b.N; i++ {
+			res, err := simsync.RunLockIn(pool,
+				machine.Config{Procs: 32, Topo: topo.Cluster, Seed: uint64(i + 1),
+					SharedWords: 1 << 12, LocalWords: 1 << 8},
+				info,
+				simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := res.Stats
+			ops += st.Loads + st.Stores + st.RMWs
+			acqs += res.Acquisitions
+		}
+		b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+		b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+	})
+	b.Run("ctr-sharded", func(b *testing.B) {
+		info, ok := simsync.CounterByName("ctr-sharded")
+		if !ok {
+			b.Fatal("ctr-sharded missing")
+		}
+		b.ReportAllocs()
+		pool := new(machine.Pool)
+		var ops uint64
+		for i := 0; i < b.N; i++ {
+			res, err := simsync.RunCounterIn(pool,
+				machine.Config{Procs: 32, Topo: topo.Cluster, Seed: uint64(i + 1),
+					SharedWords: 1 << 12, LocalWords: 1 << 8},
+				info,
+				simsync.CounterOpts{Incs: 60},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := res.Stats
+			ops += st.Loads + st.Stores + st.RMWs
+		}
+		b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+	})
+}
+
 // BenchmarkT1 — uncontended latency, simulated bus machine. Pooled,
 // as the harness runs it: one acquire/release pair per reset machine.
 func BenchmarkT1_Uncontended(b *testing.B) {
@@ -211,7 +270,7 @@ func BenchmarkT1_Uncontended(b *testing.B) {
 			pool := new(machine.Pool)
 			var cyc float64
 			for i := 0; i < b.N; i++ {
-				c, _, err := simsync.UncontendedLockCostIn(pool, machine.Bus, li)
+				c, _, err := simsync.UncontendedLockCostIn(pool, topo.Bus, li)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -227,7 +286,7 @@ func BenchmarkF1F2_BusLocks(b *testing.B) {
 	for _, li := range simsync.Locks() {
 		for _, p := range []int{2, 8, 24} {
 			b.Run(fmt.Sprintf("%s/P=%d", li.Name, p), func(b *testing.B) {
-				simLockBench(b, machine.Bus, li.Name, p)
+				simLockBench(b, topo.Bus, li.Name, p)
 			})
 		}
 	}
@@ -238,7 +297,7 @@ func BenchmarkF3F4_NUMALocks(b *testing.B) {
 	for _, li := range simsync.Locks() {
 		for _, p := range []int{2, 8, 32} {
 			b.Run(fmt.Sprintf("%s/P=%d", li.Name, p), func(b *testing.B) {
-				simLockBench(b, machine.NUMA, li.Name, p)
+				simLockBench(b, topo.NUMA, li.Name, p)
 			})
 		}
 	}
@@ -260,7 +319,7 @@ func BenchmarkF5_BackoffAblation(b *testing.B) {
 					},
 				}
 				res, err := simsync.RunLock(
-					machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+					machine.Config{Procs: 16, Topo: topo.Bus, Seed: uint64(i + 1)},
 					info, simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
 				)
 				if err != nil {
@@ -272,7 +331,7 @@ func BenchmarkF5_BackoffAblation(b *testing.B) {
 		})
 	}
 	b.Run("qsync/untuned", func(b *testing.B) {
-		simLockBench(b, machine.Bus, "qsync", 16)
+		simLockBench(b, topo.Bus, "qsync", 16)
 	})
 }
 
@@ -286,7 +345,7 @@ func BenchmarkF6_CSLength(b *testing.B) {
 				var cyc float64
 				for i := 0; i < b.N; i++ {
 					res, err := simsync.RunLock(
-						machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+						machine.Config{Procs: 16, Topo: topo.Bus, Seed: uint64(i + 1)},
 						info, simsync.LockOpts{Iters: 40, CS: sim.Time(cs), Think: sim.Time(2 * cs), CheckMutex: true},
 					)
 					if err != nil {
@@ -305,7 +364,7 @@ func BenchmarkF7_BusBarriers(b *testing.B) {
 	for _, bi := range simsync.Barriers() {
 		for _, p := range []int{4, 16} {
 			b.Run(fmt.Sprintf("%s/P=%d", bi.Name, p), func(b *testing.B) {
-				simBarrierBench(b, machine.Bus, bi.Name, p)
+				simBarrierBench(b, topo.Bus, bi.Name, p)
 			})
 		}
 	}
@@ -316,7 +375,7 @@ func BenchmarkF8_NUMABarriers(b *testing.B) {
 	for _, bi := range simsync.Barriers() {
 		for _, p := range []int{8, 32} {
 			b.Run(fmt.Sprintf("%s/P=%d", bi.Name, p), func(b *testing.B) {
-				simBarrierBench(b, machine.NUMA, bi.Name, p)
+				simBarrierBench(b, topo.NUMA, bi.Name, p)
 			})
 		}
 	}
@@ -380,7 +439,7 @@ func BenchmarkF14_SimSemaphores(b *testing.B) {
 				var cyc, traf float64
 				for i := 0; i < b.N; i++ {
 					res, err := simsync.RunProducerConsumer(
-						machine.Config{Procs: p, Model: machine.Bus, Seed: uint64(i + 1)},
+						machine.Config{Procs: p, Topo: topo.Bus, Seed: uint64(i + 1)},
 						si, simsync.PCOpts{Items: 60, Capacity: 4, Work: 20},
 					)
 					if err != nil {
@@ -404,7 +463,7 @@ func BenchmarkF13_SimRWLocks(b *testing.B) {
 				var cyc float64
 				for i := 0; i < b.N; i++ {
 					res, err := simsync.RunRW(
-						machine.Config{Procs: 16, Model: machine.Bus, Seed: uint64(i + 1)},
+						machine.Config{Procs: 16, Topo: topo.Bus, Seed: uint64(i + 1)},
 						ri, simsync.RWOpts{Iters: 30, ReadFraction: frac, Work: 40, Think: 60},
 					)
 					if err != nil {
@@ -477,7 +536,7 @@ func BenchmarkF16_Counters(b *testing.B) {
 				var cyc, traf float64
 				for i := 0; i < b.N; i++ {
 					res, err := simsync.RunCounter(
-						machine.Config{Procs: p, Model: machine.NUMA, Seed: uint64(i + 1)},
+						machine.Config{Procs: p, Topo: topo.NUMA, Seed: uint64(i + 1)},
 						ci, simsync.CounterOpts{Incs: 40},
 					)
 					if err != nil {

@@ -9,6 +9,7 @@
 //	syncbench -quick -all          # small sweeps, finishes in seconds
 //	syncbench -all -csv results/   # also write one CSV per table
 //	syncbench -all -algos=tas,qsync  # restrict sweeps to named algorithms
+//	syncbench -topo=cluster -run L1-cluster,X1  # topology selection (see -list)
 //	syncbench -shardedjson BENCH_sharded.json  # real-runtime ops/sec snapshot
 //	syncbench -simjson BENCH_sim.json -simlabel "engine milestone"
 //	                               # merge a dated snapshot into the trajectory
@@ -30,6 +31,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sharded"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,7 @@ func run() int {
 		csvDir   = flag.String("csv", "", "directory to write one CSV per table")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		algos    = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
+		topos    = flag.String("topo", "", "comma-separated topology names for the topology-axis experiments (X1/X2 and the per-topology battery); see -list")
 		benchJS  = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
 		simJS    = flag.String("simjson", "", "merge a dated simulator-throughput snapshot into this trajectory file (e.g. BENCH_sim.json); earlier snapshots are preserved")
 		simLabel = flag.String("simlabel", "", "optional label recorded on the -simjson snapshot")
@@ -94,11 +97,17 @@ func run() int {
 		for _, e := range harness.Registry() {
 			fmt.Printf("  %-12s %s\n", strings.Join(e.IDs, "+"), e.Title)
 		}
+		fmt.Printf("topologies (-topo): %s\n", strings.Join(topo.Names(), " "))
 		return 0
 	}
 
 	algoList := registry.SplitList(*algos)
 	if err := harness.ValidateAlgos(algoList); err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		return 2
+	}
+	topoList := registry.SplitList(*topos)
+	if err := harness.ValidateTopos(topoList); err != nil {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
 		return 2
 	}
@@ -134,7 +143,7 @@ func run() int {
 		return 2
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList}
+	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList, Topos: topoList}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -146,7 +155,9 @@ func run() int {
 }
 
 // simBenchResult is one line of a BENCH_sim.json snapshot: host-side
-// throughput of the simulator on one fixed contended workload.
+// throughput of the simulator on one fixed contended workload. Model
+// carries the topology label (the json key predates the topology
+// subsystem and is kept for trajectory continuity).
 type simBenchResult struct {
 	Workload      string  `json:"workload"`
 	Model         string  `json:"model"`
@@ -268,19 +279,23 @@ func writeSimBench(path string, quick bool, label string) error {
 	// The P=32 raw-storm pair measures cross-processor spin-window
 	// batching directly: same workload with windows on (default) and
 	// forced off, so the trajectory file itself carries the speedup.
+	// The cluster rows track the per-event path on the hierarchical
+	// topology (its storms are window-ineligible by construction).
 	battery := []struct {
 		lock  string
-		model machine.Model
+		topo  topo.Topology
 		procs int
 		noWin bool
 	}{
-		{"tas", machine.Bus, 8, false},
-		{"tas", machine.Bus, 32, false},
-		{"tas", machine.Bus, 32, true},
-		{"ttas", machine.Bus, 8, false},
-		{"tas-bo", machine.Bus, 8, false},
-		{"qsync", machine.Bus, 8, false},
-		{"qsync", machine.NUMA, 16, false},
+		{"tas", topo.Bus, 8, false},
+		{"tas", topo.Bus, 32, false},
+		{"tas", topo.Bus, 32, true},
+		{"ttas", topo.Bus, 8, false},
+		{"tas-bo", topo.Bus, 8, false},
+		{"qsync", topo.Bus, 8, false},
+		{"qsync", topo.NUMA, 16, false},
+		{"tas", topo.Cluster, 32, false},
+		{"qsync", topo.Cluster, 16, false},
 	}
 	pool := new(machine.Pool)
 	for _, bc := range battery {
@@ -292,7 +307,7 @@ func writeSimBench(path string, quick bool, label string) error {
 		start := time.Now()
 		for r := 0; r < reps; r++ {
 			res, err := simsync.RunLockIn(pool,
-				machine.Config{Procs: bc.procs, Model: bc.model, Seed: uint64(r + 1),
+				machine.Config{Procs: bc.procs, Topo: bc.topo, Seed: uint64(r + 1),
 					SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: bc.noWin},
 				info,
 				simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true},
@@ -311,7 +326,7 @@ func writeSimBench(path string, quick bool, label string) error {
 			name += "-nowin"
 		}
 		res := simBenchResult{
-			Workload: name, Model: bc.model.String(), Procs: bc.procs,
+			Workload: name, Model: bc.topo.Name(), Procs: bc.procs,
 			SimOpsPerSec: float64(ops) / el,
 			EventsPerSec: float64(events) / el,
 		}

@@ -4,12 +4,15 @@
 // locks, semaphores, hot-spot counters) and can compare several
 // algorithms of one family side by side:
 //
-//	syncsim -kind lock -algos qsync -model numa -procs 16 -iters 200
-//	syncsim -kind lock -algos tas,ticket,qsync -model bus -procs 8
-//	syncsim -kind barrier -algos dissemination -model bus -procs 32
-//	syncsim -kind counter -algos ctr-fa,ctr-sharded -model numa -procs 32
+//	syncsim -kind lock -algos qsync -topo numa -procs 16 -iters 200
+//	syncsim -kind lock -algos tas,ticket,qsync -topo bus -procs 8
+//	syncsim -kind barrier -algos dissemination -topo bus -procs 32
+//	syncsim -kind counter -algos ctr-fa,ctr-sharded -topo cluster -procs 32
 //	syncsim -kind rw -algos rw-qsync -readfrac 0.9 -procs 16
-//	syncsim -kind sem -algos sem-central,sem-qsync -procs 8
+//	syncsim -kind sem -algos sem-central,sem-sharded -topo cluster -procs 8
+//
+// Topologies resolve through the registry in internal/topo (-names
+// lists them); -model remains as a legacy spelling of -topo.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -32,7 +36,8 @@ func main() {
 		kind     = flag.String("kind", "lock", "lock, barrier, rw, sem, or counter")
 		algos    = flag.String("algos", "", "comma-separated algorithm names (default per kind: qsync, qsync-tree, rw-qsync, sem-qsync, ctr-sharded; see -names)")
 		algo     = flag.String("algo", "", "single algorithm name (legacy spelling of -algos)")
-		model    = flag.String("model", "bus", "machine model: bus, numa, ideal")
+		topoName = flag.String("topo", "", "machine topology (see -names); wins over -model")
+		model    = flag.String("model", "bus", "legacy spelling of -topo")
 		procs    = flag.Int("procs", 8, "processors")
 		iters    = flag.Int("iters", 100, "operations per processor (lock, rw)")
 		episodes = flag.Int("episodes", 50, "episodes (barrier)")
@@ -89,21 +94,19 @@ func main() {
 		fmt.Printf("rwlocks:   %s\n", strings.Join(simsync.RWLockSet.Names(), " "))
 		fmt.Printf("semaphores: %s\n", strings.Join(simsync.SemaphoreSet.Names(), " "))
 		fmt.Printf("counters:  %s\n", strings.Join(simsync.CounterSet.Names(), " "))
+		fmt.Printf("topologies: %s\n", strings.Join(topo.Names(), " "))
 		return
 	}
 
-	var mdl machine.Model
-	switch *model {
-	case "bus":
-		mdl = machine.Bus
-	case "numa":
-		mdl = machine.NUMA
-	case "ideal":
-		mdl = machine.Ideal
-	default:
-		fail("unknown model %q", *model)
+	sel := *topoName
+	if sel == "" {
+		sel = *model
 	}
-	cfg := machine.Config{Procs: *procs, Model: mdl, Seed: *seed}
+	tp, ok := topo.ByName(sel)
+	if !ok {
+		fail("unknown topology %q (known: %s)", sel, strings.Join(topo.Names(), " "))
+	}
+	cfg := machine.Config{Procs: *procs, Topo: tp, Seed: *seed}
 
 	selection := parseAlgos(*algos, *algo)
 
@@ -117,11 +120,11 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("lock=%s model=%s procs=%d iters=%d\n", res.Lock, res.Model, res.Procs, *iters)
+			fmt.Printf("lock=%s model=%s procs=%d iters=%d\n", res.Lock, res.Topo.Name(), res.Procs, *iters)
 			fmt.Printf("  acquisitions:      %d\n", res.Acquisitions)
 			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
 			fmt.Printf("  cycles/acq:        %.1f\n", res.CyclesPerAcq)
-			fmt.Printf("  traffic/acq:       %.2f (%s)\n", res.TrafficPerAcq, trafficName(mdl))
+			fmt.Printf("  traffic/acq:       %.2f (%s)\n", res.TrafficPerAcq, trafficName(tp))
 			fmt.Printf("  FIFO inversions:   %d\n", res.FIFOInversions)
 			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
@@ -133,10 +136,10 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("barrier=%s model=%s procs=%d episodes=%d\n", res.Barrier, res.Model, res.Procs, res.Episodes)
+			fmt.Printf("barrier=%s model=%s procs=%d episodes=%d\n", res.Barrier, res.Topo.Name(), res.Procs, res.Episodes)
 			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
 			fmt.Printf("  cycles/episode:    %.1f\n", res.CyclesPerEpisode)
-			fmt.Printf("  traffic/episode:   %.2f (%s)\n", res.TrafficPerEpisode, trafficName(mdl))
+			fmt.Printf("  traffic/episode:   %.2f (%s)\n", res.TrafficPerEpisode, trafficName(tp))
 			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
 	case "rw":
@@ -148,11 +151,11 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("rwlock=%s model=%s procs=%d readfrac=%.2f\n", res.Lock, res.Model, res.Procs, *readfrac)
+			fmt.Printf("rwlock=%s model=%s procs=%d readfrac=%.2f\n", res.Lock, res.Topo.Name(), res.Procs, *readfrac)
 			fmt.Printf("  reads / writes:    %d / %d\n", res.Reads, res.Writes)
 			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
 			fmt.Printf("  cycles/op:         %.1f\n", res.CyclesPerOp)
-			fmt.Printf("  traffic/op:        %.2f (%s)\n", res.TrafficPerOp, trafficName(mdl))
+			fmt.Printf("  traffic/op:        %.2f (%s)\n", res.TrafficPerOp, trafficName(tp))
 			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
 	case "sem":
@@ -163,10 +166,10 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("semaphore=%s model=%s procs=%d items=%d\n", res.Semaphore, res.Model, res.Procs, res.Items)
+			fmt.Printf("semaphore=%s model=%s procs=%d items=%d\n", res.Semaphore, res.Topo.Name(), res.Procs, res.Items)
 			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
 			fmt.Printf("  cycles/item:       %.1f\n", res.CyclesPerItem)
-			fmt.Printf("  traffic/item:      %.2f (%s)\n", res.TrafficPerItem, trafficName(mdl))
+			fmt.Printf("  traffic/item:      %.2f (%s)\n", res.TrafficPerItem, trafficName(tp))
 			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
 	case "counter":
@@ -177,10 +180,10 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("counter=%s model=%s procs=%d incs=%d\n", res.Counter, res.Model, res.Procs, res.Incs)
+			fmt.Printf("counter=%s model=%s procs=%d incs=%d\n", res.Counter, res.Topo.Name(), res.Procs, res.Incs)
 			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
 			fmt.Printf("  cycles/inc:        %.1f\n", res.CyclesPerInc)
-			fmt.Printf("  traffic/inc:       %.2f (%s)\n", res.TrafficPerInc, trafficName(mdl))
+			fmt.Printf("  traffic/inc:       %.2f (%s)\n", res.TrafficPerInc, trafficName(tp))
 			fmt.Printf("  events simulated:  %d\n", res.Stats.Events)
 		}
 	default:
@@ -214,11 +217,8 @@ func selectFrom[T any](set interface {
 	return infos
 }
 
-func trafficName(m machine.Model) string {
-	if m == machine.NUMA {
-		return "remote refs"
-	}
-	return "bus txns"
+func trafficName(t topo.Topology) string {
+	return t.Traffic().Unit()
 }
 
 // profileStops holds the -cpuprofile/-memprofile flush actions. They

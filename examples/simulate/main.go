@@ -1,7 +1,9 @@
 // Simulate: using the multiprocessor substrate directly. Builds a tiny
 // custom synchronization algorithm against the simulated ISA, runs it on
-// both machine models, and prints the counters the 1991 methodology
-// cares about — a template for experimenting with your own algorithms.
+// every registered machine topology — the coherent bus, the flat NUMA
+// machine, and the two-level cluster machine — and prints the counters
+// the 1991 methodology cares about. A template for experimenting with
+// your own algorithms and machine shapes.
 package main
 
 import (
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 )
 
 // A deliberately naive algorithm to study: a "polite" test&set that
@@ -35,8 +38,8 @@ func main() {
 	fmt.Println("== custom algorithm on the simulated multiprocessor ==")
 	fmt.Println()
 
-	for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
-		fmt.Printf("--- %s machine, 16 processors, 50 acquisitions each ---\n", model)
+	for _, tp := range []topo.Topology{topo.Bus, topo.NUMA, topo.Cluster} {
+		fmt.Printf("--- %s machine, 16 processors, 50 acquisitions each ---\n", tp.Name())
 		for _, tc := range []struct {
 			name string
 			make simsync.LockMaker
@@ -47,19 +50,15 @@ func main() {
 			{"qsync", simsync.NewQSync},
 		} {
 			res, err := simsync.RunLock(
-				machine.Config{Procs: 16, Model: model, Seed: 42},
+				machine.Config{Procs: 16, Topo: tp, Seed: 42},
 				simsync.LockInfo{Name: tc.name, Make: tc.make},
 				simsync.LockOpts{Iters: 50, CS: 25, Think: 50, CheckMutex: true},
 			)
 			if err != nil {
 				panic(err)
 			}
-			unit := "bus txns"
-			if model == machine.NUMA {
-				unit = "remote refs"
-			}
 			fmt.Printf("%12s: %7.0f cycles/acq  %6.2f %s/acq  (%d events simulated)\n",
-				tc.name, res.CyclesPerAcq, res.TrafficPerAcq, unit, res.Stats.Events)
+				tc.name, res.CyclesPerAcq, res.TrafficPerAcq, tp.Traffic().Unit(), res.Stats.Events)
 		}
 		fmt.Println()
 	}

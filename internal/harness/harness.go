@@ -26,6 +26,13 @@ type Options struct {
 	// leniently: names from other families are ignored, and a family
 	// with no match runs in full.
 	Algos []string
+	// Topos, when non-empty, selects the topologies the topology-axis
+	// experiments cover (the -topo= flag), resolved strictly against
+	// topo.Registry. Empty defaults per experiment: the X1/X2 axis
+	// sweeps every registered non-ideal topology, and the per-topology
+	// battery covers the non-canonical ones (everything beyond bus and
+	// numa, which have their own canonical tables).
+	Topos []string
 }
 
 func (o Options) seed() uint64 {
@@ -78,6 +85,9 @@ func Registry() []Experiment {
 		{IDs: []string{"T2"}, Title: "Space cost per lock and per waiter", Run: runT2},
 		{IDs: []string{"T3"}, Title: "Fairness: acquisition spread and FIFO inversions", Run: runT3},
 		{IDs: []string{"A1"}, Title: "Ablation: machine timing-parameter sensitivity", Run: runA1},
+		{IDs: []string{"X1", "X2"}, Title: "Lock sweep with machine topology as the matrix axis", Run: runTopoAxis},
+		{IDs: []string{"L1-cluster", "L2-cluster", "B1-cluster", "R1-cluster", "S1-cluster", "C1-cluster"},
+			Title: "Full simulated battery per topology (default: every non-canonical registered topology; -topo selects)", Run: runTopoBattery},
 	}
 }
 
@@ -91,12 +101,13 @@ func IDList() []string {
 	return ids
 }
 
-// Lookup finds the experiment producing table id.
+// Lookup finds the experiment producing table id (case-insensitive, so
+// "f2" and "l1-CLUSTER" both resolve).
 func Lookup(id string) (Experiment, bool) {
-	id = strings.ToUpper(strings.TrimSpace(id))
+	id = strings.TrimSpace(id)
 	for _, e := range Registry() {
 		for _, eid := range e.IDs {
-			if eid == id {
+			if strings.EqualFold(eid, id) {
 				return e, true
 			}
 		}

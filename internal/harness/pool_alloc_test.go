@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 )
 
 // Machine pooling exists so that a sweep's steady-state cell cost is
@@ -20,7 +21,7 @@ func TestPooledCellAllocationBudget(t *testing.T) {
 	if !ok {
 		t.Fatal("tas lock missing")
 	}
-	cfg := machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}
+	cfg := machine.Config{Procs: 8, Topo: topo.Bus, Seed: 7}
 	opts := simsync.LockOpts{Iters: 10, CS: 25, Think: 50, CheckMutex: true}
 
 	pool := new(machine.Pool)
@@ -65,7 +66,7 @@ func TestPooledT1AllocationBudget(t *testing.T) {
 	}
 	pool := new(machine.Pool)
 	point := func() {
-		for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 			if _, _, err := simsync.UncontendedLockCostIn(pool, model, info); err != nil {
 				t.Fatal(err)
 			}
@@ -83,7 +84,7 @@ func TestPooledT1AllocationBudget(t *testing.T) {
 	}
 
 	unpooled := testing.AllocsPerRun(5, func() {
-		for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 			if _, _, err := simsync.UncontendedLockCost(model, info); err != nil {
 				t.Fatal(err)
 			}

@@ -252,3 +252,60 @@ func (o Options) episodes() int {
 func simLockOpts(iters int) simsync.LockOpts {
 	return simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true}
 }
+
+// The remaining families' standard workload shapes, shared by the
+// canonical figures (F13/F14/F16) and the per-topology battery
+// (sweep_topo.go) so the two can never silently drift apart.
+
+// rwSweepSize is the simulated reader-writer sweep's size.
+func (o Options) rwSweepSize() (procs, iters int) {
+	if o.Quick {
+		return 8, 20
+	}
+	return 16, 60
+}
+
+// rwFracs is the read-fraction axis of the simulated rw sweeps.
+func rwFracs() []float64 { return []float64{0, 0.5, 0.9, 1} }
+
+// simRWOpts is the standard simulated reader-writer workload.
+func simRWOpts(iters int, frac float64) simsync.RWOpts {
+	return simsync.RWOpts{Iters: iters, ReadFraction: frac, Work: 40, Think: 60}
+}
+
+// semSweepSize is the simulated bounded-buffer sweep's size.
+func (o Options) semSweepSize() (items int, procsList []int) {
+	if o.Quick {
+		return 40, []int{2, 4, 8}
+	}
+	return 120, []int{2, 4, 8, 16, 32}
+}
+
+// simPCOpts is the standard simulated producer/consumer workload.
+func simPCOpts(items int) simsync.PCOpts {
+	return simsync.PCOpts{Items: items, Capacity: 4, Work: 20}
+}
+
+// counterSweepSize is the hot-spot counter sweep's size (F16 and the
+// per-topology battery; F15's two-algorithm study keeps its own).
+func (o Options) counterSweepSize() (incs int, procsList []int) {
+	if o.Quick {
+		return 20, []int{4, 16}
+	}
+	return 60, []int{4, 8, 16, 32, 64}
+}
+
+// clipProcs drops axis points above a topology's processor ceiling
+// (max <= 0 means unlimited).
+func clipProcs(procsList []int, max int) []int {
+	if max <= 0 {
+		return procsList
+	}
+	var out []int
+	for _, p := range procsList {
+		if p <= max {
+			out = append(out, p)
+		}
+	}
+	return out
+}

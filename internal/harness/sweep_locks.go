@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simsync"
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -30,11 +31,11 @@ func runT1(o Options) ([]Table, error) {
 	}
 	pool := new(machine.Pool)
 	for _, info := range algosFor(o, simsync.LockSet) {
-		busCyc, busTraf, err := simsync.UncontendedLockCostIn(pool, machine.Bus, info)
+		busCyc, busTraf, err := simsync.UncontendedLockCostIn(pool, topo.Bus, info)
 		if err != nil {
 			return nil, err
 		}
-		numaCyc, numaTraf, err := simsync.UncontendedLockCostIn(pool, machine.NUMA, info)
+		numaCyc, numaTraf, err := simsync.UncontendedLockCostIn(pool, topo.NUMA, info)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +49,7 @@ func runT1(o Options) ([]Table, error) {
 // F1 + F2 + T4 — bus machine lock sweep
 // ---------------------------------------------------------------------
 
-func lockSweep(o Options, model machine.Model, procsList []int, metrics []metricSpec) (tables []Table, perLockTraffic map[string][]float64, err error) {
+func lockSweep(o Options, tp topo.Topology, procsList []int, metrics []metricSpec) (tables []Table, perLockTraffic map[string][]float64, err error) {
 	infos := algosFor(o, simsync.LockSet)
 	// Pre-size the traffic series so concurrent cells write disjoint
 	// indexed slots instead of appending (the map itself is read-only
@@ -62,14 +63,14 @@ func lockSweep(o Options, model machine.Model, procsList []int, metrics []metric
 		func(ai int, li simsync.LockInfo, pool *machine.Pool) ([]float64, error) {
 			p := procsList[ai]
 			res, rerr := simsync.RunLockIn(pool,
-				machine.Config{Procs: p, Model: model, Seed: o.seed()},
+				machine.Config{Procs: p, Topo: tp, Seed: o.seed()},
 				li, simLockOpts(o.lockIters()),
 			)
 			if rerr != nil {
 				return nil, rerr
 			}
 			o.progressf("  %s %s P=%d: %.0f cyc/acq, %.2f traffic/acq\n",
-				model, li.Name, p, res.CyclesPerAcq, res.TrafficPerAcq)
+				tp.Name(), li.Name, p, res.CyclesPerAcq, res.TrafficPerAcq)
 			perLockTraffic[li.Name][ai] = res.TrafficPerAcq
 			return []float64{res.CyclesPerAcq, res.TrafficPerAcq}, nil
 		})
@@ -78,7 +79,7 @@ func lockSweep(o Options, model machine.Model, procsList []int, metrics []metric
 
 func runBusLockSweep(o Options) ([]Table, error) {
 	procs := o.busProcs()
-	tables, perLock, err := lockSweep(o, machine.Bus, procs, []metricSpec{
+	tables, perLock, err := lockSweep(o, topo.Bus, procs, []metricSpec{
 		{ID: "F1", Title: "Cycles per critical section vs processors (bus machine)",
 			Note: "tas superlinear; ttas better; backoff/ticket flatten; anderson & qsync near-flat"},
 		{ID: "F2", Title: "Bus transactions per acquisition vs processors",
@@ -120,7 +121,7 @@ func runBusLockSweep(o Options) ([]Table, error) {
 // ---------------------------------------------------------------------
 
 func runNUMALockSweep(o Options) ([]Table, error) {
-	tables, _, err := lockSweep(o, machine.NUMA, o.numaProcs(), []metricSpec{
+	tables, _, err := lockSweep(o, topo.NUMA, o.numaProcs(), []metricSpec{
 		{ID: "F3", Title: "Cycles per critical section vs processors (NUMA machine)",
 			Note: "remote-spin algorithms degrade with network hot-spotting; qsync flat"},
 		{ID: "F4", Title: "Remote references per acquisition vs processors (NUMA)",
@@ -158,7 +159,7 @@ func runF5(o Options) ([]Table, error) {
 				},
 			}
 			res, err := simsync.RunLockIn(pool,
-				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+				machine.Config{Procs: p, Topo: topo.Bus, Seed: o.seed()},
 				info, simLockOpts(o.lockIters()),
 			)
 			if err != nil {
@@ -169,7 +170,7 @@ func runF5(o Options) ([]Table, error) {
 	}
 	qs, _ := simsync.LockByName("qsync")
 	res, err := simsync.RunLockIn(pool,
-		machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+		machine.Config{Procs: p, Topo: topo.Bus, Seed: o.seed()},
 		qs, simLockOpts(o.lockIters()),
 	)
 	if err != nil {
@@ -203,7 +204,7 @@ func runF6(o Options) ([]Table, error) {
 			cs := lengths[ai]
 			opts := simsync.LockOpts{Iters: o.lockIters(), CS: cs, Think: 2 * cs, CheckMutex: true}
 			res, err := simsync.RunLockIn(pool,
-				machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+				machine.Config{Procs: p, Topo: topo.Bus, Seed: o.seed()},
 				li, opts,
 			)
 			if err != nil {
@@ -302,7 +303,7 @@ func runT3(o Options) ([]Table, error) {
 	results := make([]simsync.LockResult, len(infos))
 	err := forEachCell(true, len(infos), func(cell int, pool *machine.Pool) error {
 		res, rerr := simsync.RunLockIn(pool,
-			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+			machine.Config{Procs: p, Topo: topo.Bus, Seed: o.seed()},
 			infos[cell], simsync.LockOpts{Duration: duration, CS: 25, Think: 50, CheckMutex: true, RecordOrder: true},
 		)
 		if rerr != nil {
@@ -365,11 +366,11 @@ func runA1(o Options) ([]Table, error) {
 	var points []point
 	for _, busLat := range []sim.Time{5, 20, 80} {
 		points = append(points, point{"bus", fmt.Sprintf("bus latency %d", busLat),
-			machine.Config{Procs: p, Model: machine.Bus, BusLatency: busLat, Seed: o.seed()}})
+			machine.Config{Procs: p, Topo: topo.Bus, BusLatency: busLat, Seed: o.seed()}})
 	}
 	for _, remote := range []sim.Time{4, 12, 48} {
 		points = append(points, point{"numa", fmt.Sprintf("remote latency %d", remote),
-			machine.Config{Procs: p, Model: machine.NUMA, RemoteMem: remote, Seed: o.seed()}})
+			machine.Config{Procs: p, Topo: topo.NUMA, RemoteMem: remote, Seed: o.seed()}})
 	}
 	locksUnder := []simsync.LockInfo{tas, qs}
 	results := make([]simsync.LockResult, len(points)*len(locksUnder))

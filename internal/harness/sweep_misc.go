@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 )
 
 // ---------------------------------------------------------------------
@@ -39,7 +40,7 @@ func runF15(o Options) ([]Table, error) {
 	err = forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, ii := cell/len(infos), cell%len(infos)
 		res, rerr := simsync.RunCounterIn(pool,
-			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
+			machine.Config{Procs: procsList[pi], Topo: topo.NUMA, Seed: o.seed()},
 			infos[ii],
 			simsync.CounterOpts{Incs: incs},
 		)
@@ -78,12 +79,7 @@ func runF15(o Options) ([]Table, error) {
 // striped counter's increments are local fetch&adds, so its cost stays
 // flat while the central word's home module queues ever deeper.
 func runF16(o Options) ([]Table, error) {
-	incs := 60
-	procsList := []int{4, 8, 16, 32, 64}
-	if o.Quick {
-		incs = 20
-		procsList = []int{4, 16}
-	}
+	incs, procsList := o.counterSweepSize()
 	infos := algosFor(o, simsync.CounterSet)
 	cols := []string{"P"}
 	for _, info := range infos {
@@ -106,7 +102,7 @@ func runF16(o Options) ([]Table, error) {
 	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, ii := cell/len(infos), cell%len(infos)
 		res, rerr := simsync.RunCounterIn(pool,
-			machine.Config{Procs: procsList[pi], Model: machine.NUMA, Seed: o.seed()},
+			machine.Config{Procs: procsList[pi], Topo: topo.NUMA, Seed: o.seed()},
 			infos[ii],
 			simsync.CounterOpts{Incs: incs},
 		)

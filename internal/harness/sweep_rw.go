@@ -11,6 +11,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/machine"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -55,11 +56,7 @@ func runF9(o Options) ([]Table, error) {
 // ---------------------------------------------------------------------
 
 func runF13(o Options) ([]Table, error) {
-	p := 16
-	iters := 60
-	if o.Quick {
-		p, iters = 8, 20
-	}
+	p, iters := o.rwSweepSize()
 	infos := algosFor(o, simsync.RWLockSet)
 	cols := []string{"read fraction"}
 	for _, info := range infos {
@@ -71,14 +68,14 @@ func runF13(o Options) ([]Table, error) {
 		Note:  "reader sharing pays off as the read fraction rises; the fair queue variant adds bounded overhead and removes writer starvation",
 		Cols:  cols,
 	}
-	fracs := []float64{0, 0.5, 0.9, 1}
+	fracs := rwFracs()
 	results := make([]simsync.RWResult, len(fracs)*len(infos))
 	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		fi, ii := cell/len(infos), cell%len(infos)
 		res, rerr := simsync.RunRWIn(pool,
-			machine.Config{Procs: p, Model: machine.Bus, Seed: o.seed()},
+			machine.Config{Procs: p, Topo: topo.Bus, Seed: o.seed()},
 			infos[ii],
-			simsync.RWOpts{Iters: iters, ReadFraction: fracs[fi], Work: 40, Think: 60},
+			simRWOpts(iters, fracs[fi]),
 		)
 		if rerr != nil {
 			return rerr

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/simsync"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -48,17 +49,12 @@ func runF10(o Options) ([]Table, error) {
 // ---------------------------------------------------------------------
 
 func runF14(o Options) ([]Table, error) {
-	items := 120
-	procsList := []int{2, 4, 8, 16, 32}
-	if o.Quick {
-		items = 40
-		procsList = []int{2, 4, 8}
-	}
+	items, procsList := o.semSweepSize()
 	infos := algosFor(o, simsync.SemaphoreSet)
 	cols := []string{"P"}
-	for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+	for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 		unit := "cyc/item"
-		if model == machine.NUMA {
+		if model == topo.NUMA {
 			unit = "refs/item"
 		}
 		for _, info := range infos {
@@ -71,22 +67,22 @@ func runF14(o Options) ([]Table, error) {
 		Note:  "the central spin semaphore hammers its counter from every blocked processor; the mechanism's queueing semaphore hands permits off directly with bounded traffic",
 		Cols:  cols,
 	}
-	models := []machine.Model{machine.Bus, machine.NUMA}
+	models := []topo.Topology{topo.Bus, topo.NUMA}
 	perRow := len(models) * len(infos)
 	results := make([]simsync.PCResult, len(procsList)*perRow)
 	err := forEachCell(true, len(results), func(cell int, pool *machine.Pool) error {
 		pi, rest := cell/perRow, cell%perRow
 		model, info := models[rest/len(infos)], infos[rest%len(infos)]
 		res, rerr := simsync.RunProducerConsumerIn(pool,
-			machine.Config{Procs: procsList[pi], Model: model, Seed: o.seed()},
+			machine.Config{Procs: procsList[pi], Topo: model, Seed: o.seed()},
 			info,
-			simsync.PCOpts{Items: items, Capacity: 4, Work: 20},
+			simPCOpts(items),
 		)
 		if rerr != nil {
 			return rerr
 		}
 		o.progressf("  %s %s P=%d: %.0f cyc/item %.1f traffic/item\n",
-			model, info.Name, procsList[pi], res.CyclesPerItem, res.TrafficPerItem)
+			model.Name(), info.Name, procsList[pi], res.CyclesPerItem, res.TrafficPerItem)
 		results[cell] = res
 		return nil
 	})
@@ -98,7 +94,7 @@ func runF14(o Options) ([]Table, error) {
 		for mi, model := range models {
 			for ii := range infos {
 				res := results[pi*perRow+mi*len(infos)+ii]
-				if model == machine.Bus {
+				if model == topo.Bus {
 					row = append(row, Fmt(res.CyclesPerItem))
 				} else {
 					row = append(row, Fmt(res.TrafficPerItem))

@@ -3,18 +3,25 @@
 // way the ICPP/TOCS literature of that era did: elapsed cycles and
 // interconnect transactions per operation.
 //
-// Two machine models are provided:
+// The shape of the memory system comes from a composable topology
+// (internal/topo): module count, home-module mapping, hop costs, poll
+// spacing, and traffic classification are all topology properties,
+// while this package supplies the mechanism — the coherence protocol,
+// port occupancy, and deterministic event scheduling. The canonical
+// instances are:
 //
-//   - Bus: a symmetric bus-based multiprocessor with per-processor caches
-//     kept consistent by a write-invalidate protocol (Sequent Symmetry
-//     class). The interesting metric is bus transactions.
-//   - NUMA: a distributed-memory machine without coherent caches, where
-//     each processor owns a memory module and remote references traverse
-//     an interconnection network (BBN Butterfly class). The interesting
-//     metric is remote references, and spinning on remote words is
-//     modeled as periodic polling.
+//   - topo.Bus: a symmetric bus-based multiprocessor with per-processor
+//     caches kept consistent by a write-invalidate protocol (Sequent
+//     Symmetry class). The interesting metric is bus transactions.
+//   - topo.NUMA: a flat distributed-memory machine without coherent
+//     caches, where each processor owns a memory module and remote
+//     references traverse an interconnection network (BBN Butterfly
+//     class). The interesting metric is remote references, and spinning
+//     on remote words is modeled as periodic polling.
+//   - topo.Cluster: a two-level cluster-NUMA machine — cheap
+//     intra-cluster hops, expensive inter-cluster traversals.
 //
-// An Ideal model (unit latency, no contention) exists for unit tests.
+// topo.Ideal (unit latency, no contention) exists for unit tests.
 //
 // Processors execute ordinary Go closures against the Proc API; every
 // memory operation advances the virtual clock through the deterministic
@@ -27,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Word is the machine word. All simulated memory holds Words.
@@ -51,44 +59,24 @@ func WordPtr(w Word) Addr {
 	return Addr(w - 1)
 }
 
-// Model selects the memory-system model.
-type Model int
-
-const (
-	// Ideal has unit-latency uncontended memory. For tests.
-	Ideal Model = iota
-	// Bus is the snooping write-invalidate cache-coherent model.
-	Bus
-	// NUMA is the non-coherent distributed-memory model.
-	NUMA
-)
-
-func (m Model) String() string {
-	switch m {
-	case Ideal:
-		return "ideal"
-	case Bus:
-		return "bus"
-	case NUMA:
-		return "numa"
-	}
-	return fmt.Sprintf("model(%d)", int(m))
-}
-
 // Config describes a machine. Zero fields take defaults from Defaults.
 type Config struct {
-	Procs int   // number of processors (Bus model: at most 64)
-	Model Model // memory system model
+	Procs int // number of processors (each topology declares its own ceiling)
+	// Topo is the memory-system topology; nil defaults to topo.Ideal.
+	// The canonical instances (topo.Bus, topo.NUMA, topo.Cluster) are
+	// registered in topo.Registry alongside any custom shapes.
+	Topo topo.Topology
 
-	// Timing, in cycles.
-	CacheHit     sim.Time // cache hit (Bus); default 1
-	BusLatency   sim.Time // full bus transaction (Bus); default 20
-	LocalMem     sim.Time // local module access (NUMA); default 2
-	RemoteMem    sim.Time // added network traversal for remote refs (NUMA); default 12
-	PollInterval sim.Time // spacing between remote spin polls (NUMA); default 36
+	// Timing, in cycles. Topologies price their hops relative to these
+	// knobs (see topo.Timing), so they apply across machine shapes.
+	CacheHit     sim.Time // cache hit (coherent topologies); default 1
+	BusLatency   sim.Time // full bus transaction; default 20
+	LocalMem     sim.Time // local module access; default 2
+	RemoteMem    sim.Time // reference network traversal for remote refs; default 12
+	PollInterval sim.Time // base spacing between remote spin polls; default 36
 
 	SharedWords int // size of the shared heap; default 1<<16
-	LocalWords  int // per-processor local region (NUMA placement); default 1<<12
+	LocalWords  int // per-module local region (placement target); default 1<<12
 
 	Seed     uint64 // RNG seed; default 1
 	MaxSteps uint64 // event limit; default sim.DefaultMaxSteps
@@ -98,12 +86,24 @@ type Config struct {
 	// the switch exists for the determinism A/B tests and for host-side
 	// performance comparisons.
 	NoSpinWindows bool
+
+	// Placement is the default data-placement policy handed to
+	// placement-aware algorithms (see AllocPlaced); nil defaults to
+	// topo.PlaceGroup, which degenerates to per-processor local
+	// placement on flat topologies.
+	Placement topo.Placement
 }
 
 // Defaults fills in zero fields and returns the completed config.
 func (c Config) Defaults() Config {
 	if c.Procs == 0 {
 		c.Procs = 1
+	}
+	if c.Topo == nil {
+		c.Topo = topo.Ideal
+	}
+	if c.Placement == nil {
+		c.Placement = topo.PlaceGroup
 	}
 	if c.CacheHit == 0 {
 		c.CacheHit = 1
@@ -136,8 +136,26 @@ func (c Config) validate() error {
 	if c.Procs < 1 {
 		return errors.New("machine: need at least one processor")
 	}
-	if c.Model == Bus && c.Procs > 64 {
-		return errors.New("machine: bus model supports at most 64 processors (sharer bitmask)")
+	// The processor ceiling is a topology property: each topology
+	// declares its own (the bus machine's 64 comes from the coherence
+	// directory's sharer bitmask).
+	if max := c.Topo.MaxProcs(); max > 0 && c.Procs > max {
+		return fmt.Errorf("machine: topology %s supports at most %d processors", c.Topo.Name(), max)
+	}
+	// Independent of what a topology declares, the snooping-cache
+	// implementation itself cannot track more than 64 sharers per word.
+	if c.Topo.Discipline() == topo.SnoopingBus && c.Procs > 64 {
+		return fmt.Errorf("machine: coherent topology %s exceeds the 64-sharer bitmask", c.Topo.Name())
+	}
+	// The machine's memory layout attaches one local region (and hence
+	// one module) to each processor — home() maps local addresses to
+	// their owning processor index. A topology declaring a different
+	// module count would index past modFreeAt, so refuse it up front
+	// instead of panicking mid-run; lifting the restriction means
+	// generalizing the local-region layout, not just this check.
+	if mods := c.Topo.Modules(c.Procs); mods != c.Procs {
+		return fmt.Errorf("machine: topology %s declares %d modules for %d processors; the machine currently requires one module per processor",
+			c.Topo.Name(), mods, c.Procs)
 	}
 	if c.Procs > 1024 {
 		return errors.New("machine: at most 1024 processors")
@@ -150,8 +168,8 @@ type ProcStats struct {
 	Loads      uint64
 	Stores     uint64
 	RMWs       uint64
-	BusTxns    uint64 // Bus model: transactions this processor caused
-	RemoteRefs uint64 // NUMA model: remote references this processor made
+	BusTxns    uint64 // coherent topologies: transactions this processor caused
+	RemoteRefs uint64 // module topologies: remote references this processor made
 }
 
 // Stats is a machine-wide counter snapshot.
@@ -176,14 +194,15 @@ type Stats struct {
 	PerProc    []ProcStats
 }
 
-// Traffic returns the model-appropriate interconnect transaction count:
-// bus transactions on a Bus machine, remote references on NUMA, and the
-// total operation count on Ideal (where every access is uniform).
-func (s Stats) TrafficFor(m Model) uint64 {
-	switch m {
-	case Bus:
+// TrafficFor returns the topology's headline interconnect transaction
+// count: bus transactions on a coherent machine, remote references on a
+// module machine, and the total operation count on uniform memory
+// (where every access is alike).
+func (s Stats) TrafficFor(t topo.Topology) uint64 {
+	switch t.Traffic() {
+	case topo.TrafficBusTxns:
 		return s.BusTxns
-	case NUMA:
+	case topo.TrafficRemoteRefs:
 		return s.RemoteRefs
 	default:
 		return s.Loads + s.Stores + s.RMWs
@@ -197,12 +216,19 @@ type Machine struct {
 	eng *sim.Engine
 	rng *sim.RNG
 
+	// Topology caches, refreshed by Reset: the topology itself, its
+	// access discipline, and the timing parameters its cost methods
+	// take. Hot paths read these instead of chasing cfg.
+	topo topo.Topology
+	disc topo.Discipline
+	tm   topo.Timing
+
 	mem     []Word
-	sharers []uint64 // Bus: bitmask of caching processors, per word
-	owner   []int16  // Bus: processor index + 1 holding the word exclusive, or 0
+	sharers []uint64 // coherent: bitmask of caching processors, per word
+	owner   []int16  // coherent: processor index + 1 holding the word exclusive, or 0
 
 	busFreeAt sim.Time
-	modFreeAt []sim.Time // NUMA: per-module port availability
+	modFreeAt []sim.Time // modules: per-module port availability
 
 	// Watchers form one intrusive FIFO list per word: watchHead/watchTail
 	// index the first and last watching processor and each Proc carries
@@ -273,6 +299,15 @@ func (m *Machine) Reset(cfg Config) error {
 		return err
 	}
 	m.cfg = cfg
+	m.topo = cfg.Topo
+	m.disc = cfg.Topo.Discipline()
+	m.tm = topo.Timing{
+		CacheHit:     cfg.CacheHit,
+		BusLatency:   cfg.BusLatency,
+		LocalMem:     cfg.LocalMem,
+		RemoteMem:    cfg.RemoteMem,
+		PollInterval: cfg.PollInterval,
+	}
 	total := cfg.SharedWords + cfg.Procs*cfg.LocalWords
 
 	m.eng.Reset()
@@ -282,12 +317,12 @@ func (m *Machine) Reset(cfg Config) error {
 	m.mem = resetSlice(m.mem, total)
 	m.watchHead = resetSlice(m.watchHead, total)
 	m.watchTail = resetSlice(m.watchTail, total)
-	if cfg.Model == Bus {
+	if m.disc == topo.SnoopingBus {
 		m.sharers = resetSlice(m.sharers, total)
 		m.owner = resetSlice(m.owner, total)
 	}
-	if cfg.Model == NUMA {
-		m.modFreeAt = resetSlice(m.modFreeAt, cfg.Procs)
+	if m.disc == topo.Modules {
+		m.modFreeAt = resetSlice(m.modFreeAt, m.topo.Modules(cfg.Procs))
 	}
 	m.busFreeAt = 0
 
@@ -318,7 +353,7 @@ func (m *Machine) Reset(cfg Config) error {
 	}
 
 	m.stats = Stats{}
-	m.winEnabled = !cfg.NoSpinWindows && cfg.Model != Ideal
+	m.winEnabled = !cfg.NoSpinWindows && m.disc != topo.Uniform
 	m.spinStreak = 0
 	m.winCount = 0
 	m.winMask = resetSlice(m.winMask, (cfg.Procs+63)/64)
@@ -355,6 +390,12 @@ func resizeKeep[T any](s []T, n int) []T {
 // Config returns the completed configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Topo returns the machine's topology.
+func (m *Machine) Topo() topo.Topology { return m.topo }
+
+// Placement returns the machine's default data-placement policy.
+func (m *Machine) Placement() topo.Placement { return m.cfg.Placement }
+
 // Procs returns the processor count.
 func (m *Machine) Procs() int { return m.cfg.Procs }
 
@@ -376,9 +417,9 @@ func (m *Machine) AllocShared(n int) Addr {
 	return base
 }
 
-// AllocLocal reserves n words in processor p's local module. On the Bus
-// model locality has no timing effect but placement is still tracked, so
-// algorithms are written once.
+// AllocLocal reserves n words in module p (the local region attached to
+// processor p). On coherent topologies locality has no timing effect
+// but placement is still tracked, so algorithms are written once.
 func (m *Machine) AllocLocal(p, n int) Addr {
 	if p < 0 || p >= m.cfg.Procs {
 		panic("machine: AllocLocal processor out of range")
@@ -395,13 +436,23 @@ func (m *Machine) AllocLocal(p, n int) Addr {
 	return base
 }
 
+// AllocPlaced reserves n words in the module the placement policy picks
+// for a word primarily touched by processor owner. This is how
+// placement-aware algorithms allocate: the same algorithm text places
+// its words per-processor on a flat machine and on cluster homes on a
+// hierarchical one, with the policy as the only varying part.
+func (m *Machine) AllocPlaced(pl topo.Placement, owner, n int) Addr {
+	return m.AllocLocal(pl.Module(m.topo, owner, m.cfg.Procs), n)
+}
+
 // home returns the memory module owning addr: local regions belong to
-// their processor; the shared region is interleaved across modules.
+// their module; the shared region's mapping is a topology property
+// (interleaved across modules on every canonical instance).
 func (m *Machine) home(a Addr) int {
 	if int(a) >= m.cfg.SharedWords {
 		return (int(a) - m.cfg.SharedWords) / m.cfg.LocalWords
 	}
-	return int(a) % m.cfg.Procs
+	return m.topo.HomeModule(int(a), m.cfg.Procs)
 }
 
 // Peek reads simulated memory without timing effects (host-side checks).
@@ -431,7 +482,7 @@ func (m *Machine) Stats() Stats {
 		// are all remote).
 		if i < len(m.winRMWs) && m.winRMWs[i] != 0 {
 			s.PerProc[i].RMWs += m.winRMWs[i]
-			if m.cfg.Model == Bus {
+			if m.disc == topo.SnoopingBus {
 				s.PerProc[i].BusTxns += m.winRMWs[i]
 			} else {
 				s.PerProc[i].RemoteRefs += m.winRMWs[i]

@@ -1,16 +1,18 @@
 package machine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // On NUMA, spinning on a remote word must generate polling traffic (the
 // Butterfly pathology), while spinning on a local word must not.
 func TestNUMARemoteSpinPolls(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: NUMA})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.NUMA})
 	remoteFlag := m.AllocLocal(1, 1) // remote to P0, local to P1
 	err := m.RunEach([]func(p *Proc){
 		func(p *Proc) {
@@ -32,7 +34,7 @@ func TestNUMARemoteSpinPolls(t *testing.T) {
 }
 
 func TestNUMALocalSpinIsQuiet(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: NUMA})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.NUMA})
 	localFlag := m.AllocLocal(0, 1) // local to the spinner
 	err := m.RunEach([]func(p *Proc){
 		func(p *Proc) {
@@ -57,7 +59,7 @@ func TestNUMALocalSpinIsQuiet(t *testing.T) {
 // A write-upgrade (shared copy -> exclusive) must cost a bus transaction
 // even though the data is already cached.
 func TestBusWriteUpgradeCostsTransaction(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Bus})
 	a := m.AllocShared(1)
 	var afterLoad, afterStore uint64
 	err := m.Run(func(p *Proc) {
@@ -80,7 +82,7 @@ func TestBusWriteUpgradeCostsTransaction(t *testing.T) {
 
 // Failed CAS still costs a transaction, like a real locked operation.
 func TestFailedCASCharged(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Bus})
 	a := m.AllocShared(1)
 	err := m.Run(func(p *Proc) {
 		before := p.stats.BusTxns
@@ -100,7 +102,7 @@ func TestFailedCASCharged(t *testing.T) {
 // address's writes.
 func TestWatchersAreAddressSpecific(t *testing.T) {
 	const procs = 5
-	m := newTestMachine(t, Config{Procs: procs, Model: Bus})
+	m := newTestMachine(t, Config{Procs: procs, Topo: topo.Bus})
 	flags := m.AllocShared(procs)
 	wakeOrder := make([]int, 0, procs-1)
 	bodies := make([]func(p *Proc), procs)
@@ -131,7 +133,7 @@ func TestWatchersAreAddressSpecific(t *testing.T) {
 
 // Two processors spinning on the same word both wake from one write.
 func TestWatcherBroadcast(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 3, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 3, Topo: topo.Bus})
 	flag := m.AllocShared(1)
 	woke := 0
 	bodies := []func(p *Proc){
@@ -150,7 +152,7 @@ func TestWatcherBroadcast(t *testing.T) {
 // A spurious wake (write that does not satisfy the predicate) must
 // re-arm the watcher rather than returning or losing the processor.
 func TestWatcherSpuriousWakeRearms(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.Bus})
 	flag := m.AllocShared(1)
 	var got Word
 	err := m.RunEach([]func(p *Proc){
@@ -186,19 +188,19 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-func TestModelString(t *testing.T) {
-	if Ideal.String() != "ideal" || Bus.String() != "bus" || NUMA.String() != "numa" {
-		t.Fatal("Model.String broken")
+func TestTopologyNames(t *testing.T) {
+	if topo.Ideal.Name() != "ideal" || topo.Bus.Name() != "bus" || topo.NUMA.Name() != "numa" {
+		t.Fatal("canonical topology names broken")
 	}
-	if Model(42).String() == "" {
-		t.Fatal("unknown model should still format")
+	if fmt.Sprint(topo.Bus) != "bus" {
+		t.Fatal("topologies should format as their names")
 	}
 }
 
 // The bus serializes: two simultaneous misses cannot both finish in one
 // bus latency.
 func TestBusSerializesTransactions(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.Bus})
 	a := m.AllocShared(2)
 	var end0, end1 sim.Time
 	err := m.RunEach([]func(p *Proc){
@@ -220,7 +222,7 @@ func TestBusSerializesTransactions(t *testing.T) {
 // NUMA module ports serialize access to one module; accesses to
 // different modules proceed in parallel.
 func TestNUMAModuleContention(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 3, Model: NUMA})
+	m := newTestMachine(t, Config{Procs: 3, Topo: topo.NUMA})
 	hot := m.AllocLocal(2, 1) // both P0 and P1 hit module 2
 	var end0, end1 sim.Time
 	err := m.RunEach([]func(p *Proc){

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 func newTestMachine(t *testing.T, cfg Config) *Machine {
@@ -18,9 +19,9 @@ func newTestMachine(t *testing.T, cfg Config) *Machine {
 }
 
 func TestLoadStoreRoundTrip(t *testing.T) {
-	for _, model := range []Model{Ideal, Bus, NUMA} {
-		t.Run(model.String(), func(t *testing.T) {
-			m := newTestMachine(t, Config{Procs: 1, Model: model})
+	for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
+		t.Run(model.Name(), func(t *testing.T) {
+			m := newTestMachine(t, Config{Procs: 1, Topo: model})
 			a := m.AllocShared(4)
 			err := m.Run(func(p *Proc) {
 				p.Store(a, 123)
@@ -40,7 +41,7 @@ func TestLoadStoreRoundTrip(t *testing.T) {
 }
 
 func TestAtomicOps(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Ideal})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Ideal})
 	a := m.AllocShared(1)
 	err := m.Run(func(p *Proc) {
 		if old := p.TestAndSet(a); old != 0 {
@@ -76,10 +77,10 @@ func TestAtomicOps(t *testing.T) {
 // FetchAdd from many processors must never lose an increment regardless
 // of interleaving: the simulated memory is sequentially consistent.
 func TestFetchAddAtomicityAcrossProcs(t *testing.T) {
-	for _, model := range []Model{Ideal, Bus, NUMA} {
-		t.Run(model.String(), func(t *testing.T) {
+	for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
+		t.Run(model.Name(), func(t *testing.T) {
 			const procs, iters = 8, 200
-			m := newTestMachine(t, Config{Procs: procs, Model: model})
+			m := newTestMachine(t, Config{Procs: procs, Topo: model})
 			a := m.AllocShared(1)
 			err := m.Run(func(p *Proc) {
 				for i := 0; i < iters; i++ {
@@ -98,7 +99,7 @@ func TestFetchAddAtomicityAcrossProcs(t *testing.T) {
 }
 
 func TestBusCoherenceTrafficAccounting(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.Bus})
 	a := m.AllocShared(1)
 	flag := m.AllocShared(1)
 	bodies := []func(p *Proc){
@@ -136,7 +137,7 @@ func TestBusCoherenceTrafficAccounting(t *testing.T) {
 }
 
 func TestBusReadHitAfterRead(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Bus})
 	a := m.AllocShared(1)
 	var txnsAfterFirst, txnsAfterSecond uint64
 	err := m.Run(func(p *Proc) {
@@ -157,7 +158,7 @@ func TestBusReadHitAfterRead(t *testing.T) {
 }
 
 func TestNUMARemoteRefAccounting(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 4, Model: NUMA})
+	m := newTestMachine(t, Config{Procs: 4, Topo: topo.NUMA})
 	local := m.AllocLocal(0, 1)
 	bodies := make([]func(p *Proc), 4)
 	bodies[0] = func(p *Proc) {
@@ -182,7 +183,7 @@ func TestNUMARemoteRefAccounting(t *testing.T) {
 }
 
 func TestNUMARemoteCostsMore(t *testing.T) {
-	mLocal := newTestMachine(t, Config{Procs: 2, Model: NUMA})
+	mLocal := newTestMachine(t, Config{Procs: 2, Topo: topo.NUMA})
 	aLocal := mLocal.AllocLocal(0, 1)
 	var localElapsed sim.Time
 	err := mLocal.RunEach([]func(p *Proc){
@@ -199,7 +200,7 @@ func TestNUMARemoteCostsMore(t *testing.T) {
 		t.Fatalf("Run local: %v", err)
 	}
 
-	mRemote := newTestMachine(t, Config{Procs: 2, Model: NUMA})
+	mRemote := newTestMachine(t, Config{Procs: 2, Topo: topo.NUMA})
 	aRemote := mRemote.AllocLocal(1, 1)
 	var remoteElapsed sim.Time
 	err = mRemote.RunEach([]func(p *Proc){
@@ -221,9 +222,9 @@ func TestNUMARemoteCostsMore(t *testing.T) {
 }
 
 func TestSpinUntilWakesOnStore(t *testing.T) {
-	for _, model := range []Model{Ideal, Bus, NUMA} {
-		t.Run(model.String(), func(t *testing.T) {
-			m := newTestMachine(t, Config{Procs: 2, Model: model})
+	for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
+		t.Run(model.Name(), func(t *testing.T) {
+			m := newTestMachine(t, Config{Procs: 2, Topo: model})
 			flag := m.AllocShared(1)
 			var observed Word
 			err := m.RunEach([]func(p *Proc){
@@ -246,7 +247,7 @@ func TestSpinUntilWakesOnStore(t *testing.T) {
 }
 
 func TestSpinUntilAlreadySatisfied(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Bus})
 	flag := m.AllocShared(1)
 	m.Poke(flag, 5)
 	err := m.Run(func(p *Proc) {
@@ -260,7 +261,7 @@ func TestSpinUntilAlreadySatisfied(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 2, Model: Bus})
+	m := newTestMachine(t, Config{Procs: 2, Topo: topo.Bus})
 	flag := m.AllocShared(1)
 	err := m.RunEach([]func(p *Proc){
 		func(p *Proc) { p.SpinUntilEq(flag, 1) }, // never satisfied
@@ -278,7 +279,7 @@ func TestDeadlockDetection(t *testing.T) {
 }
 
 func TestLivelockStepLimit(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: NUMA, MaxSteps: 5000})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.NUMA, MaxSteps: 5000})
 	// Remote spin on another module's word that never changes: endless polling.
 	a := m.AllocShared(2)
 	remote := a
@@ -300,7 +301,7 @@ func TestLivelockStepLimit(t *testing.T) {
 
 func TestDeterministicReplay(t *testing.T) {
 	run := func() Stats {
-		m, err := New(Config{Procs: 8, Model: Bus, Seed: 99})
+		m, err := New(Config{Procs: 8, Topo: topo.Bus, Seed: 99})
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
@@ -364,7 +365,7 @@ func TestAllocLocalBounds(t *testing.T) {
 }
 
 func TestSharedHomeInterleaved(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 4, Model: NUMA})
+	m := newTestMachine(t, Config{Procs: 4, Topo: topo.NUMA})
 	a := m.AllocShared(8)
 	seen := map[int]bool{}
 	for i := Addr(0); i < 8; i++ {
@@ -423,10 +424,10 @@ func TestRunEachLengthMismatch(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{Procs: 65, Model: Bus}); err == nil {
+	if _, err := New(Config{Procs: 65, Topo: topo.Bus}); err == nil {
 		t.Fatal("bus with 65 procs accepted")
 	}
-	if _, err := New(Config{Procs: 2000, Model: NUMA}); err == nil {
+	if _, err := New(Config{Procs: 2000, Topo: topo.NUMA}); err == nil {
 		t.Fatal("2000 procs accepted")
 	}
 	if _, err := New(Config{Procs: -1}); err == nil {
@@ -436,19 +437,19 @@ func TestConfigValidation(t *testing.T) {
 
 func TestTrafficForModel(t *testing.T) {
 	s := Stats{BusTxns: 10, RemoteRefs: 20, Loads: 1, Stores: 2, RMWs: 3}
-	if s.TrafficFor(Bus) != 10 {
-		t.Fatal("TrafficFor(Bus)")
+	if s.TrafficFor(topo.Bus) != 10 {
+		t.Fatal("TrafficFor(topo.Bus)")
 	}
-	if s.TrafficFor(NUMA) != 20 {
-		t.Fatal("TrafficFor(NUMA)")
+	if s.TrafficFor(topo.NUMA) != 20 {
+		t.Fatal("TrafficFor(topo.NUMA)")
 	}
-	if s.TrafficFor(Ideal) != 6 {
-		t.Fatal("TrafficFor(Ideal)")
+	if s.TrafficFor(topo.Ideal) != 6 {
+		t.Fatal("TrafficFor(topo.Ideal)")
 	}
 }
 
 func TestDelayAdvancesClock(t *testing.T) {
-	m := newTestMachine(t, Config{Procs: 1, Model: Ideal})
+	m := newTestMachine(t, Config{Procs: 1, Topo: topo.Ideal})
 	var before, after sim.Time
 	err := m.Run(func(p *Proc) {
 		before = p.Now()
@@ -468,7 +469,7 @@ func TestDelayAdvancesClock(t *testing.T) {
 func TestMemoryPerProcOracle(t *testing.T) {
 	f := func(seed uint64, opsRaw uint8) bool {
 		ops := int(opsRaw%64) + 1
-		m, err := New(Config{Procs: 4, Model: Bus, Seed: seed | 1})
+		m, err := New(Config{Procs: 4, Topo: topo.Bus, Seed: seed | 1})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,9 @@
 package machine
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
 
 // accessKind classifies a memory operation for the timing model.
 type accessKind int
@@ -15,18 +18,20 @@ const (
 // and updates coherence state, interconnect occupancy, and traffic
 // counters. The caller applies the data mutation immediately (engine
 // event order equals interconnect arbitration order, so issue-order
-// application yields a sequentially consistent memory).
+// application yields a sequentially consistent memory). The mechanism
+// is selected by the topology's discipline; the topology prices the
+// distances inside it.
 func (m *Machine) access(p *Proc, a Addr, k accessKind) sim.Time {
 	if int(a) < 0 || int(a) >= len(m.mem) {
 		panic("machine: address out of range")
 	}
-	switch m.cfg.Model {
-	case Bus:
+	switch m.disc {
+	case topo.SnoopingBus:
 		return m.accessBus(p, a, k)
-	case NUMA:
-		return m.accessNUMA(p, a, k)
+	case topo.Modules:
+		return m.accessModules(p, a, k)
 	default:
-		return 1 // Ideal: unit latency, no contention
+		return 1 // uniform memory: unit latency, no contention
 	}
 }
 
@@ -77,24 +82,25 @@ func (m *Machine) busTransaction(p *Proc) sim.Time {
 	return (start - now) + m.cfg.BusLatency
 }
 
-// accessNUMA models per-module memory ports and network traversal for
-// remote references. An access occupies the target module's port for
-// its full service time — LocalMem cycles for a local access,
-// LocalMem+RemoteMem for a remote one (the module and its switch path
-// are busy for the whole transaction on a Butterfly-class machine).
-// This occupancy is what makes hot-spot modules saturate: a word
-// hammered by P processors serves at most one request per service time,
-// and the queue in front of it grows with P.
-func (m *Machine) accessNUMA(p *Proc, a Addr, _ accessKind) sim.Time {
+// accessModules models per-module memory ports and distance-priced
+// network traversal for off-module references. An access occupies the
+// target module's port for its full service time — LocalMem cycles
+// plus whatever traversal the topology charges for the hop (the module
+// and its switch path are busy for the whole transaction on a
+// Butterfly-class machine, near or far). This occupancy is what makes
+// hot-spot modules saturate: a word hammered by P processors serves at
+// most one request per service time, and the queue in front of it
+// grows with P. On a hierarchical topology the same mechanism prices
+// intra-cluster sharing cheaply and cross-cluster hot spots dearly.
+func (m *Machine) accessModules(p *Proc, a Addr, _ accessKind) sim.Time {
 	mod := m.home(a)
 	now := p.localNow
 	start := now
 	if m.modFreeAt[mod] > start {
 		start = m.modFreeAt[mod]
 	}
-	service := m.cfg.LocalMem
-	if mod != p.id {
-		service += m.cfg.RemoteMem
+	service := m.cfg.LocalMem + m.topo.Traversal(p.id, mod, m.tm)
+	if m.topo.Remote(p.id, mod) {
 		p.stats.RemoteRefs++
 		m.stats.RemoteRefs++
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // contendedProgram is a small deterministic workload touching every
@@ -50,10 +51,10 @@ func contendedProgram(t *testing.T, m *Machine) (Stats, Word, [][]sim.Time) {
 // across configuration changes (grow, shrink, model switch).
 func TestResetMatchesFresh(t *testing.T) {
 	cfgs := []Config{
-		{Procs: 6, Model: Bus, Seed: 11},
-		{Procs: 12, Model: NUMA, Seed: 5}, // grow + model switch
-		{Procs: 3, Model: Bus, Seed: 11},  // shrink back
-		{Procs: 6, Model: Bus, Seed: 11},  // repeat of the first
+		{Procs: 6, Topo: topo.Bus, Seed: 11},
+		{Procs: 12, Topo: topo.NUMA, Seed: 5}, // grow + model switch
+		{Procs: 3, Topo: topo.Bus, Seed: 11},  // shrink back
+		{Procs: 6, Topo: topo.Bus, Seed: 11},  // repeat of the first
 	}
 	type outcome struct {
 		stats Stats
@@ -97,7 +98,7 @@ func TestResetMatchesFresh(t *testing.T) {
 // ended abnormally — watchers still registered, events still queued, a
 // processor deadlocked — and checks the next run starts clean.
 func TestResetClearsAbortedRunState(t *testing.T) {
-	m, err := New(Config{Procs: 2, Model: Bus, Seed: 3})
+	m, err := New(Config{Procs: 2, Topo: topo.Bus, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestResetClearsAbortedRunState(t *testing.T) {
 		t.Fatalf("setup run should deadlock, got %v", err)
 	}
 
-	if err := m.Reset(Config{Procs: 2, Model: Bus, Seed: 3}); err != nil {
+	if err := m.Reset(Config{Procs: 2, Topo: topo.Bus, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	flag2 := m.AllocShared(1)
@@ -140,7 +141,7 @@ func TestResetClearsAbortedRunState(t *testing.T) {
 // New for a different configuration.
 func TestPoolReusesMachines(t *testing.T) {
 	pool := new(Pool)
-	m1, err := pool.Get(Config{Procs: 4, Model: Bus})
+	m1, err := pool.Get(Config{Procs: 4, Topo: topo.Bus})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,14 +149,14 @@ func TestPoolReusesMachines(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool.Put(m1)
-	m2, err := pool.Get(Config{Procs: 8, Model: NUMA, Seed: 2})
+	m2, err := pool.Get(Config{Procs: 8, Topo: topo.NUMA, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m2 != m1 {
 		t.Fatal("pool did not recycle the returned machine")
 	}
-	if m2.Procs() != 8 || m2.Config().Model != NUMA {
+	if m2.Procs() != 8 || m2.Config().Topo != topo.NUMA {
 		t.Fatalf("recycled machine kept the old configuration: %+v", m2.Config())
 	}
 	if err := m2.Run(func(p *Proc) { p.Delay(1) }); err != nil {

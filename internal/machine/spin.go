@@ -2,6 +2,7 @@ package machine
 
 import (
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // This file is the engine-level spin-wait machinery. A spinning
@@ -105,7 +106,7 @@ type spinState struct {
 	active bool
 	kind   uint8
 	phase  uint8
-	poll   bool // NUMA remote word: periodic polling instead of watching
+	poll   bool // remote word on a module machine: periodic polling instead of watching
 	// winStatic is the spin-entry-time half of cross-processor window
 	// eligibility (window.go): a draw-free raw test&set on a model
 	// with a serializing resource. The dynamic half — the last probe
@@ -116,6 +117,7 @@ type spinState struct {
 	pred      Pred
 	bo        Backoff
 	cur       sim.Time // current backoff delay
+	pollEvery sim.Time // base poll spacing (topology-priced; set when poll)
 	val       Word     // last probed value; the spin's result
 }
 
@@ -155,7 +157,13 @@ func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
 	s.pred = pr
 	s.bo = bo
 	s.cur = bo.Base
-	s.poll = kind != spinTAS && p.m.cfg.Model == NUMA && p.m.home(a) != p.id
+	s.poll = false
+	if kind != spinTAS && p.m.disc == topo.Modules {
+		if mod := p.m.home(a); mod != p.id {
+			s.poll = true
+			s.pollEvery = p.m.topo.PollSpacing(p.id, mod, p.m.tm)
+		}
+	}
 	s.winStatic = p.m.winStatic(p, kind, a, bo)
 	s.phase = spReadIssue
 	if kind == spinTAS {
@@ -219,10 +227,11 @@ func (m *Machine) spinAdvance(p *Proc) bool {
 				return true
 			}
 			if s.poll {
-				// Remote NUMA word: no cache to spin in, so poll the
-				// module every PollInterval cycles with jitter.
-				jitter := p.rng.Time(m.cfg.PollInterval/2 + 1)
-				if !p.spinComplete(m.cfg.PollInterval+jitter, spReadIssue) {
+				// Remote word on a module machine: no cache to spin in,
+				// so poll the module with jitter at the spacing the
+				// topology prices for this distance.
+				jitter := p.rng.Time(s.pollEvery/2 + 1)
+				if !p.spinComplete(s.pollEvery+jitter, spReadIssue) {
 					return false
 				}
 				continue
@@ -294,22 +303,19 @@ func (m *Machine) spinBatchTAS(p *Proc) {
 	}
 	var lat sim.Time
 	remote := false
-	switch m.cfg.Model {
-	case Bus:
+	switch m.disc {
+	case topo.SnoopingBus:
 		if m.owner[a] != int16(p.id)+1 {
 			return // first probe still needs a bus transaction
 		}
 		lat = m.cfg.CacheHit
-	case NUMA:
+	case topo.Modules:
 		mod := m.home(a)
 		if m.modFreeAt[mod] > p.localNow {
 			return // port still draining: occupancy is not yet steady
 		}
-		lat = m.cfg.LocalMem
-		if mod != p.id {
-			lat += m.cfg.RemoteMem
-			remote = true
-		}
+		lat = m.cfg.LocalMem + m.topo.Traversal(p.id, mod, m.tm)
+		remote = m.topo.Remote(p.id, mod)
 	default:
 		lat = 1
 	}
@@ -346,7 +352,7 @@ func (m *Machine) spinBatchTAS(p *Proc) {
 		p.stats.RemoteRefs += k
 		m.stats.RemoteRefs += k
 	}
-	if m.cfg.Model == NUMA {
+	if m.disc == topo.Modules {
 		mod := m.home(a)
 		m.modFreeAt[mod] = p.localNow + sim.Time(k-1)*period + lat
 	}

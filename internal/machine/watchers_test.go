@@ -2,6 +2,8 @@ package machine
 
 import (
 	"testing"
+
+	"repro/internal/topo"
 )
 
 // The per-word watcher slots replaced a map[Addr][]*Proc: links are
@@ -13,7 +15,7 @@ import (
 // TestWatcherListFIFOOrder parks three processors on one word and
 // checks they are woken — and granted — in registration order.
 func TestWatcherListFIFOOrder(t *testing.T) {
-	m, err := New(Config{Procs: 4, Model: Ideal})
+	m, err := New(Config{Procs: 4, Topo: topo.Ideal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestWatcherListFIFOOrder(t *testing.T) {
 // list and resets every link, so re-parking on the same word works and
 // a second write wakes again.
 func TestWatcherListConsumedOnWake(t *testing.T) {
-	m, err := New(Config{Procs: 2, Model: Ideal})
+	m, err := New(Config{Procs: 2, Topo: topo.Ideal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestWatcherListConsumedOnWake(t *testing.T) {
 // words and writes only one of them: the other must stay parked (the
 // run deadlocks, naming the still-watching processor).
 func TestWatcherListPerWordIsolation(t *testing.T) {
-	m, err := New(Config{Procs: 3, Model: Ideal})
+	m, err := New(Config{Procs: 3, Topo: topo.Ideal})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Cross-processor spin-window batching.
@@ -113,18 +114,23 @@ func (m *Machine) winMaskBit(pid int32) bool {
 
 // winStatic reports the spin-entry-time part of window eligibility:
 // a raw test&set (draw-free, constant period — no RNG jitter, no
-// growing delay) on a machine model with a serializing resource, and
-// on NUMA only a spinner remote to the word's home module (a local
-// spinner's shorter service period breaks the uniform rotation and can
-// trigger spinBatchTAS mid-storm).
+// growing delay) on a machine with a serializing resource, and on a
+// module machine only a spinner remote to the word's home module on a
+// topology with a uniform remote traversal cost (a local spinner's
+// shorter service period — or a hierarchy's distance-dependent hops —
+// breaks the uniform rotation the closed form depends on; such storms
+// replay per-event, still exact).
 func (m *Machine) winStatic(p *Proc, kind uint8, a Addr, bo Backoff) bool {
 	if !m.winEnabled || kind != spinTAS || bo.Base != 0 || bo.PropJitter {
 		return false
 	}
-	switch m.cfg.Model {
-	case Bus:
+	switch m.disc {
+	case topo.SnoopingBus:
 		return true
-	case NUMA:
+	case topo.Modules:
+		if _, uniform := m.topo.RemoteTraversal(m.tm); !uniform {
+			return false
+		}
 		return m.home(a) != p.id
 	}
 	return false
@@ -225,17 +231,21 @@ func (m *Machine) tryWindow(next Addr) {
 		return
 	}
 	var period sim.Time
-	switch m.cfg.Model {
-	case Bus:
+	switch m.disc {
+	case topo.SnoopingBus:
 		period = m.cfg.BusLatency
-	case NUMA:
-		period = m.cfg.LocalMem + m.cfg.RemoteMem
+	case topo.Modules:
+		// Every window spinner is remote (winStatic) on a topology
+		// whose remote hops share one traversal cost, so one service
+		// period covers the whole rotation.
+		rt, _ := m.topo.RemoteTraversal(m.tm)
+		period = m.cfg.LocalMem + rt
 	}
 	if period <= 0 {
 		return
 	}
 	var free sim.Time
-	if m.cfg.Model == Bus {
+	if m.disc == topo.SnoopingBus {
 		free = m.busFreeAt
 	} else {
 		free = m.modFreeAt[m.home(addr)]
@@ -271,7 +281,7 @@ func (m *Machine) tryWindow(next Addr) {
 		sortSet(set)
 		firstPid = set[0].Arg0
 	}
-	if m.cfg.Model == Bus && m.owner[addr] == int16(firstPid)+1 {
+	if m.disc == topo.SnoopingBus && m.owner[addr] == int16(firstPid)+1 {
 		return // first probe would be a cache hit, not a bus transaction
 	}
 
@@ -335,7 +345,7 @@ func (m *Machine) tryWindow(next Addr) {
 		eng.RetimePending(int(set[i].Index), free+sim.Time(jLast)*period, seq0+jLast)
 	}
 	m.mem[addr] = 1
-	if m.cfg.Model == Bus {
+	if m.disc == topo.SnoopingBus {
 		m.owner[addr] = int16(last) + 1
 		m.sharers[addr] = uint64(1) << uint(last)
 		m.busFreeAt = free + sim.Time(total)*period

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Tests for cross-processor spin-window batching (window.go). The
@@ -78,7 +79,7 @@ func assertStormAB(t *testing.T, cfg Config, iters int,
 	}
 	if !reflect.DeepEqual(on, off) {
 		t.Errorf("%s P=%d: windows on/off diverged:\n on:  %+v\n off: %+v",
-			cfg.Model, cfg.Procs, on, off)
+			cfg.Topo, cfg.Procs, on, off)
 	}
 	return win
 }
@@ -90,9 +91,9 @@ func rawTAS(p *Proc, lock Addr) { p.SpinTAS(lock, Backoff{}) }
 // forced off, everything compared — including per-processor stats and
 // RNG stream positions.
 func TestSpinWindowBitIdentical(t *testing.T) {
-	for _, model := range []Model{Bus, NUMA} {
+	for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 		for _, procs := range []int{2, 8, 32} {
-			win := assertStormAB(t, Config{Procs: procs, Model: model, Seed: 7}, 20, rawTAS)
+			win := assertStormAB(t, Config{Procs: procs, Topo: model, Seed: 7}, 20, rawTAS)
 			if procs >= 8 && win == 0 {
 				t.Errorf("%s P=%d: windows never engaged on a raw storm", model, procs)
 			}
@@ -104,7 +105,7 @@ func TestSpinWindowBitIdentical(t *testing.T) {
 // layout: above the linear threshold the window must still commit and
 // stay exact.
 func TestSpinWindowHeapMode(t *testing.T) {
-	win := assertStormAB(t, Config{Procs: 64, Model: NUMA, Seed: 3}, 8, rawTAS)
+	win := assertStormAB(t, Config{Procs: 64, Topo: topo.NUMA, Seed: 3}, 8, rawTAS)
 	if win == 0 {
 		t.Error("P=64 NUMA storm engaged no windows (heap-mode retime untested)")
 	}
@@ -124,9 +125,9 @@ func TestSpinWindowMixedBackoffStorm(t *testing.T) {
 		}
 		p.SpinTAS(lock, Backoff{})
 	}
-	for _, model := range []Model{Bus, NUMA} {
+	for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 		for _, procs := range []int{2, 8, 32} {
-			assertStormAB(t, Config{Procs: procs, Model: model, Seed: 11}, 15, mixed)
+			assertStormAB(t, Config{Procs: procs, Topo: model, Seed: 11}, 15, mixed)
 		}
 	}
 }
@@ -146,7 +147,7 @@ func TestSpinWindowTTASStorm(t *testing.T) {
 		p.SpinTAS(lock, Backoff{})
 	}
 	for _, procs := range []int{8, 32} {
-		assertStormAB(t, Config{Procs: procs, Model: Bus, Seed: 5}, 15, mixed)
+		assertStormAB(t, Config{Procs: procs, Topo: topo.Bus, Seed: 5}, 15, mixed)
 	}
 }
 
@@ -156,7 +157,7 @@ func TestSpinWindowTTASStorm(t *testing.T) {
 // lifetime and no window may ever form across it.
 func TestSpinWindowWatchedWordRefusal(t *testing.T) {
 	run := func(noWin bool) (string, Stats) {
-		m, err := New(Config{Procs: 8, Model: Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
+		m, err := New(Config{Procs: 8, Topo: topo.Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestSpinWindowWatchedWordRefusal(t *testing.T) {
 // replaying every probe.
 func TestSpinWindowLivelockTrip(t *testing.T) {
 	run := func(noWin bool) (string, Stats) {
-		m, err := New(Config{Procs: 8, Model: Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
+		m, err := New(Config{Procs: 8, Topo: topo.Bus, Seed: 1, MaxSteps: 30000, NoSpinWindows: noWin})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,7 +227,7 @@ func TestSpinWindowLivelockTrip(t *testing.T) {
 // window state: a machine that just ran a heavy storm must reproduce a
 // fresh machine's results exactly, including the window decisions.
 func TestSpinWindowPooledReset(t *testing.T) {
-	cfg := Config{Procs: 16, Model: Bus, Seed: 9}
+	cfg := Config{Procs: 16, Topo: topo.Bus, Seed: 9}
 	fresh, freshWin := runStorm(t, cfg, 15, rawTAS)
 
 	m, err := New(cfg)

@@ -1,0 +1,121 @@
+package sharded
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// semStripe keeps each permit cell on its own cache line.
+type semStripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Semaphore is the striped counting semaphore — the real-runtime twin
+// of the simulator's sem-sharded (internal/simsync): the permit pool
+// is split across cache-line-padded stripes; Release returns a permit
+// to the caller's goroutine-affine home stripe with one uncontended
+// fetch&add, and Acquire tries the home stripe first before sweeping
+// the others for a permit released elsewhere. In the steady state of a
+// pipeline — each worker releasing roughly what it acquires — permits
+// circulate within a stripe and acquire/release never touch a shared
+// cache line, which is where a single-word semaphore melts at high
+// core counts.
+//
+// The trade: Acquire under scarcity is O(stripes) per sweep, and the
+// semaphore makes no fairness guarantee across stripes (a releaser's
+// neighbor may win before an older waiter on another stripe). Use it
+// for high-rate resource pools where throughput beats FIFO; the
+// mechanism's core.Semaphore remains the fair choice.
+//
+// The zero value is not ready; use NewSemaphore.
+type Semaphore struct {
+	stripes []semStripe
+	mask    uint64
+}
+
+// NewSemaphore returns a striped semaphore holding permits permits
+// spread over at least stripes cells (rounded up to a power of two).
+// stripes <= 0 sizes to GOMAXPROCS.
+func NewSemaphore(permits int64, stripes int) *Semaphore {
+	if stripes <= 0 {
+		stripes = runtime.GOMAXPROCS(0)
+	}
+	if permits < 0 {
+		permits = 0
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	s := &Semaphore{stripes: make([]semStripe, n), mask: uint64(n - 1)}
+	// Round-robin distribution, computed per stripe: permits/n each,
+	// with the first permits%n stripes carrying one extra. Plain stores
+	// are fine — the semaphore is unpublished during construction.
+	each, extra := permits/int64(n), permits%int64(n)
+	for i := range s.stripes {
+		share := each
+		if int64(i) < extra {
+			share++
+		}
+		s.stripes[i].v.Store(share)
+	}
+	return s
+}
+
+// Stripes reports the stripe count.
+func (s *Semaphore) Stripes() int { return len(s.stripes) }
+
+// tryDec decrements st if it is positive, reporting success. A failed
+// CAS means another goroutine moved the stripe — progress was made
+// globally — so the caller just moves its sweep along.
+func tryDec(st *semStripe) bool {
+	for {
+		v := st.v.Load()
+		if v <= 0 {
+			return false
+		}
+		if st.v.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// TryAcquire takes one permit without blocking: the home stripe first,
+// then one sweep of the rest. It reports false only after observing
+// every stripe empty (permits released concurrently with the sweep may
+// be missed — the usual TryAcquire weakening).
+func (s *Semaphore) TryAcquire() bool {
+	home := stripeHint() & s.mask
+	n := uint64(len(s.stripes))
+	for k := uint64(0); k < n; k++ {
+		if tryDec(&s.stripes[(home+k)&s.mask]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Acquire takes one permit, spinning (with scheduler yields) until one
+// is available.
+func (s *Semaphore) Acquire() {
+	for !s.TryAcquire() {
+		runtime.Gosched()
+	}
+}
+
+// Release returns one permit to the caller's home stripe.
+func (s *Semaphore) Release() {
+	s.stripes[stripeHint()&s.mask].v.Add(1)
+}
+
+// Value combines the stripes into the number of currently available
+// permits — a statistics read, linearizable-enough concurrent with
+// acquirers and releasers.
+func (s *Semaphore) Value() int64 {
+	var total int64
+	for i := range s.stripes {
+		total += s.stripes[i].v.Load()
+	}
+	return total
+}

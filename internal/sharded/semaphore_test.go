@@ -1,0 +1,91 @@
+package sharded
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSemaphoreBoundAndConservation(t *testing.T) {
+	const permits, goroutines, iters = 4, 16, 2000
+	s := NewSemaphore(permits, 0)
+	var inside, worst atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Acquire()
+				in := inside.Add(1)
+				for {
+					w := worst.Load()
+					if in <= w || worst.CompareAndSwap(w, in) {
+						break
+					}
+				}
+				inside.Add(-1)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if w := worst.Load(); w > permits {
+		t.Fatalf("%d goroutines held permits concurrently, bound is %d", w, permits)
+	}
+	if got := s.Value(); got != permits {
+		t.Fatalf("permits after run = %d, want %d (lost or duplicated)", got, permits)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(2, 4)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with permits available")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with no permits")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+}
+
+// A permit released on one stripe must be acquirable from a goroutine
+// whose home is another stripe (the sweep): exhaust permits from the
+// main goroutine, release them from many others, re-acquire all.
+func TestSemaphoreCrossStripeSteal(t *testing.T) {
+	const permits = 8
+	s := NewSemaphore(permits, 8)
+	for i := 0; i < permits; i++ {
+		s.Acquire()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < permits; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Release() }()
+	}
+	wg.Wait()
+	for i := 0; i < permits; i++ {
+		if !s.TryAcquire() {
+			t.Fatalf("permit %d not found by sweep", i)
+		}
+	}
+	if s.TryAcquire() {
+		t.Fatal("extra permit materialized")
+	}
+}
+
+func TestSemaphoreSizing(t *testing.T) {
+	if n := NewSemaphore(1, 3).Stripes(); n != 4 {
+		t.Fatalf("stripes = %d, want 4 (power-of-two rounding)", n)
+	}
+	if n := NewSemaphore(1, 0).Stripes(); n < 1 {
+		t.Fatalf("auto sizing gave %d stripes", n)
+	}
+	// Permits spread over stripes must sum exactly.
+	if v := NewSemaphore(11, 4).Value(); v != 11 {
+		t.Fatalf("initial permits = %d, want 11", v)
+	}
+}

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Every barrier must be safe (nobody leaves early) on every model, for a
 // spread of processor counts including awkward non-powers-of-two.
 func TestAllBarriersSafety(t *testing.T) {
 	for _, info := range Barriers() {
-		for _, model := range []machine.Model{machine.Ideal, machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
 			for _, procs := range []int{1, 2, 3, 5, 8, 13, 16} {
 				info, model, procs := info, model, procs
-				name := info.Name + "/" + model.String() + "/" + itoa(procs)
+				name := info.Name + "/" + model.Name() + "/" + itoa(procs)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					res, err := RunBarrier(
-						machine.Config{Procs: procs, Model: model, Seed: 17},
+						machine.Config{Procs: procs, Topo: model, Seed: 17},
 						info,
 						BarrierOpts{Episodes: 12, Work: 30},
 					)
@@ -55,7 +56,7 @@ func TestBarriersReusableBackToBack(t *testing.T) {
 		t.Run(info.Name, func(t *testing.T) {
 			t.Parallel()
 			_, err := RunBarrier(
-				machine.Config{Procs: 7, Model: machine.Bus, Seed: 1},
+				machine.Config{Procs: 7, Topo: topo.Bus, Seed: 1},
 				info,
 				BarrierOpts{Episodes: 50, Work: 0},
 			)
@@ -77,7 +78,7 @@ func TestCentralBarrierHotSpotVsQSyncTree(t *testing.T) {
 			t.Fatalf("unknown barrier %q", name)
 		}
 		res, err := RunBarrier(
-			machine.Config{Procs: procs, Model: machine.NUMA, Seed: 9},
+			machine.Config{Procs: procs, Topo: topo.NUMA, Seed: 9},
 			info,
 			BarrierOpts{Episodes: 10, Work: 40},
 		)
@@ -105,7 +106,7 @@ func TestDisseminationRemoteStoresPerEpisode(t *testing.T) {
 	const procs = 16 // log2 = 4
 	info, _ := BarrierByName("dissemination")
 	res, err := RunBarrier(
-		machine.Config{Procs: procs, Model: machine.NUMA, Seed: 2},
+		machine.Config{Procs: procs, Topo: topo.NUMA, Seed: 2},
 		info,
 		BarrierOpts{Episodes: 20, Work: 0},
 	)
@@ -127,7 +128,7 @@ func TestBarrierEpisodeTimesComparableUnderSkew(t *testing.T) {
 	var minT, maxT float64
 	for _, info := range Barriers() {
 		res, err := RunBarrier(
-			machine.Config{Procs: 8, Model: machine.Bus, Seed: 33},
+			machine.Config{Procs: 8, Topo: topo.Bus, Seed: 33},
 			info,
 			BarrierOpts{Episodes: 10, Work: 2000},
 		)
@@ -158,7 +159,7 @@ func TestBarrierDeterministicReplay(t *testing.T) {
 	run := func() BarrierResult {
 		info, _ := BarrierByName("tournament")
 		res, err := RunBarrier(
-			machine.Config{Procs: 10, Model: machine.NUMA, Seed: 5},
+			machine.Config{Procs: 10, Topo: topo.NUMA, Seed: 5},
 			info,
 			BarrierOpts{Episodes: 15, Work: 100},
 		)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Counter is a simulated shared counter supporting a concurrent
@@ -160,7 +161,7 @@ type CounterOpts struct {
 // CounterResult reports a hot-spot counter run.
 type CounterResult struct {
 	Counter       string
-	Model         machine.Model
+	Topo          topo.Topology
 	Procs         int
 	Incs          uint64
 	Cycles        sim.Time
@@ -230,7 +231,7 @@ func RunCounterIn(pool *machine.Pool, cfg machine.Config, info CounterInfo, opts
 	st := m.Stats()
 	res := CounterResult{
 		Counter: info.Name,
-		Model:   cfg.Model,
+		Topo:    cfg.Topo,
 		Procs:   cfg.Procs,
 		Incs:    total,
 		Cycles:  st.Cycles,
@@ -238,7 +239,7 @@ func RunCounterIn(pool *machine.Pool, cfg machine.Config, info CounterInfo, opts
 	}
 	if total > 0 {
 		res.CyclesPerInc = float64(st.Cycles) / float64(total)
-		res.TrafficPerInc = float64(st.TrafficFor(cfg.Model)) / float64(total)
+		res.TrafficPerInc = float64(st.TrafficFor(cfg.Topo)) / float64(total)
 	}
 	return res, nil
 }

@@ -6,20 +6,21 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Both counters must produce exact totals and unique pre-increment
 // values (RunCounter enforces both) on every model.
 func TestCountersCorrect(t *testing.T) {
 	for _, info := range Counters() {
-		for _, model := range []machine.Model{machine.Ideal, machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
 			for _, procs := range []int{1, 2, 7, 16} {
 				info, model, procs := info, model, procs
-				name := info.Name + "/" + model.String() + "/" + itoa(procs)
+				name := info.Name + "/" + model.Name() + "/" + itoa(procs)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					res, err := RunCounter(
-						machine.Config{Procs: procs, Model: model, Seed: 19},
+						machine.Config{Procs: procs, Topo: model, Seed: 19},
 						info,
 						CounterOpts{Incs: 40, Think: 25},
 					)
@@ -44,7 +45,7 @@ func TestCombiningRelievesHotSpot(t *testing.T) {
 			t.Fatalf("unknown counter %q", name)
 		}
 		res, err := RunCounter(
-			machine.Config{Procs: 32, Model: machine.NUMA, Seed: 5},
+			machine.Config{Procs: 32, Topo: topo.NUMA, Seed: 5},
 			info,
 			CounterOpts{Incs: 40, Think: 0}, // no think: maximum pressure
 		)
@@ -64,7 +65,7 @@ func TestCombiningRelievesHotSpot(t *testing.T) {
 func TestCombiningSingleProcTimeoutPath(t *testing.T) {
 	info, _ := CounterByName("ctr-combine")
 	res, err := RunCounter(
-		machine.Config{Procs: 1, Model: machine.Bus, Seed: 1},
+		machine.Config{Procs: 1, Topo: topo.Bus, Seed: 1},
 		info,
 		CounterOpts{Incs: 20},
 	)
@@ -90,7 +91,7 @@ func TestCombiningCounterProperty(t *testing.T) {
 		procs := int(procsRaw%12) + 1
 		think := int64(thinkRaw % 60)
 		_, err := RunCounter(
-			machine.Config{Procs: procs, Model: machine.NUMA, Seed: seed | 1},
+			machine.Config{Procs: procs, Topo: topo.NUMA, Seed: seed | 1},
 			info,
 			CounterOpts{Incs: 15, Think: sim.Time(think)},
 		)
@@ -105,7 +106,7 @@ func TestCounterDeterministicReplay(t *testing.T) {
 	run := func() CounterResult {
 		info, _ := CounterByName("ctr-combine")
 		res, err := RunCounter(
-			machine.Config{Procs: 9, Model: machine.Bus, Seed: 77},
+			machine.Config{Procs: 9, Topo: topo.Bus, Seed: 77},
 			info, CounterOpts{Incs: 25, Think: 10},
 		)
 		if err != nil {

@@ -6,18 +6,22 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Determinism regression: every simulated family, run twice with the
-// same seed on both machine models at 8 processors, must produce
-// bit-identical Stats — cycles, traffic, and every per-processor
-// counter. This is the guardrail for the processor-side fast path: an
-// operation may only retire inline when doing so is invisible to every
-// other processor, so any divergence between two runs (or any
-// dependence on host scheduling) is a bug in that reasoning, not noise.
+// same seed on every registered topology, must produce bit-identical
+// Stats — cycles, traffic, and every per-processor counter. This is
+// the guardrail for the processor-side fast path: an operation may
+// only retire inline when doing so is invisible to every other
+// processor, so any divergence between two runs (or any dependence on
+// host scheduling) is a bug in that reasoning, not noise.
 
-func modelsUnderTest() []machine.Model {
-	return []machine.Model{machine.Bus, machine.NUMA}
+// toposUnderTest sweeps the whole topology registry, so a newly
+// registered topology is automatically held to the same determinism
+// and window-A/B contract as the canonical machines.
+func toposUnderTest() []topo.Topology {
+	return topo.Registry.All()
 }
 
 // procsUnderTest spans the contention regimes: a near-uncontended pair,
@@ -28,12 +32,13 @@ func procsUnderTest() []int {
 	return []int{2, 8, 32}
 }
 
-// forEachConfig runs fn for every model × processor-count combination.
-func forEachConfig(t *testing.T, fn func(model machine.Model, procs int)) {
+// forEachConfig runs fn for every topology × processor-count
+// combination in the registry.
+func forEachConfig(t *testing.T, fn func(tp topo.Topology, procs int)) {
 	t.Helper()
-	for _, model := range modelsUnderTest() {
+	for _, tp := range toposUnderTest() {
 		for _, procs := range procsUnderTest() {
-			fn(model, procs)
+			fn(tp, procs)
 		}
 	}
 }
@@ -76,13 +81,13 @@ func assertIdentical(t *testing.T, name string, measure func(noWindows bool) (ma
 }
 
 func TestDeterminismLocks(t *testing.T) {
-	forEachConfig(t, func(model machine.Model, procs int) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
 		for _, info := range Locks() {
 			info := info
-			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			name := fmt.Sprintf("%s/%s/P%d", tp.Name(), info.Name, procs)
 			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunLock(
-					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
 					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
 				return res.Stats, err
 			})
@@ -91,13 +96,13 @@ func TestDeterminismLocks(t *testing.T) {
 }
 
 func TestDeterminismBarriers(t *testing.T) {
-	forEachConfig(t, func(model machine.Model, procs int) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
 		for _, info := range Barriers() {
 			info := info
-			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			name := fmt.Sprintf("%s/%s/P%d", tp.Name(), info.Name, procs)
 			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunBarrier(
-					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
 					info, BarrierOpts{Episodes: 10, Work: 150})
 				return res.Stats, err
 			})
@@ -106,13 +111,13 @@ func TestDeterminismBarriers(t *testing.T) {
 }
 
 func TestDeterminismRWLocks(t *testing.T) {
-	forEachConfig(t, func(model machine.Model, procs int) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
 		for _, info := range RWLocks() {
 			info := info
-			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			name := fmt.Sprintf("%s/%s/P%d", tp.Name(), info.Name, procs)
 			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunRW(
-					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
 					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
 				return res.Stats, err
 			})
@@ -121,13 +126,13 @@ func TestDeterminismRWLocks(t *testing.T) {
 }
 
 func TestDeterminismSemaphores(t *testing.T) {
-	forEachConfig(t, func(model machine.Model, procs int) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
 		for _, info := range Semaphores() {
 			info := info
-			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			name := fmt.Sprintf("%s/%s/P%d", tp.Name(), info.Name, procs)
 			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunProducerConsumer(
-					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
 					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
 				return res.Stats, err
 			})
@@ -136,13 +141,13 @@ func TestDeterminismSemaphores(t *testing.T) {
 }
 
 func TestDeterminismCounters(t *testing.T) {
-	forEachConfig(t, func(model machine.Model, procs int) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
 		for _, info := range Counters() {
 			info := info
-			name := fmt.Sprintf("%s/%s/P%d", model, info.Name, procs)
+			name := fmt.Sprintf("%s/%s/P%d", tp.Name(), info.Name, procs)
 			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
 				res, err := RunCounter(
-					machine.Config{Procs: procs, Model: model, Seed: 7, NoSpinWindows: noWindows},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
 					info, CounterOpts{Incs: 30, Think: 20})
 				return res.Stats, err
 			})
@@ -161,7 +166,7 @@ func TestFastPathEngages(t *testing.T) {
 		t.Fatal("tas lock missing")
 	}
 	res, err := RunLock(
-		machine.Config{Procs: 1, Model: machine.Bus, Seed: 1},
+		machine.Config{Procs: 1, Topo: topo.Bus, Seed: 1},
 		info, LockOpts{Iters: 50, CS: 25, Think: 50, CheckMutex: true})
 	if err != nil {
 		t.Fatal(err)
@@ -181,8 +186,8 @@ func TestFastPathEngages(t *testing.T) {
 // machine from a pool (Reset reuse) must produce results bit-identical
 // to constructing a fresh machine — stats, per-processor counters, and
 // the RNG-driven workload schedule included. The pooled sequence
-// deliberately alternates configurations (model, processor count,
-// algorithm) so every Reset transition — grow, shrink, model switch —
+// deliberately alternates configurations (topology, processor count,
+// algorithm) so every Reset transition — grow, shrink, topology switch —
 // is exercised on one reused machine.
 func TestPooledRunsMatchFresh(t *testing.T) {
 	type cell struct {
@@ -190,10 +195,10 @@ func TestPooledRunsMatchFresh(t *testing.T) {
 		cfg  machine.Config
 	}
 	cells := []cell{
-		{"tas", machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}},
-		{"qsync", machine.Config{Procs: 16, Model: machine.NUMA, Seed: 7}},
-		{"ttas", machine.Config{Procs: 4, Model: machine.Bus, Seed: 9}},
-		{"tas", machine.Config{Procs: 8, Model: machine.Bus, Seed: 7}}, // repeat of cell 0
+		{"tas", machine.Config{Procs: 8, Topo: topo.Bus, Seed: 7}},
+		{"qsync", machine.Config{Procs: 16, Topo: topo.NUMA, Seed: 7}},
+		{"ttas", machine.Config{Procs: 4, Topo: topo.Bus, Seed: 9}},
+		{"tas", machine.Config{Procs: 8, Topo: topo.Bus, Seed: 7}}, // repeat of cell 0
 	}
 	opts := LockOpts{Iters: 15, CS: 25, Think: 50, CheckMutex: true}
 
@@ -260,14 +265,14 @@ func TestDeterminismMixedFamilyStorm(t *testing.T) {
 	info := LockInfo{Name: "mixed-storm", Make: func(m *machine.Machine) Lock {
 		return &mixedStormLock{l: m.AllocShared(1)}
 	}}
-	forEachConfig(t, func(model machine.Model, procs int) {
-		name := fmt.Sprintf("%s/mixed-storm/P%d", model, procs)
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		name := fmt.Sprintf("%s/mixed-storm/P%d", tp.Name(), procs)
 		opts := LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true}
-		on, err := RunLock(machine.Config{Procs: procs, Model: model, Seed: 13}, info, opts)
+		on, err := RunLock(machine.Config{Procs: procs, Topo: tp, Seed: 13}, info, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		off, err := RunLock(machine.Config{Procs: procs, Model: model, Seed: 13, NoSpinWindows: true}, info, opts)
+		off, err := RunLock(machine.Config{Procs: procs, Topo: tp, Seed: 13, NoSpinWindows: true}, info, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

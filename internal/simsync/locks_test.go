@@ -5,18 +5,19 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Every lock must provide mutual exclusion and lose no updates on every
 // machine model, under contention with randomized think and hold times.
 func TestAllLocksMutualExclusion(t *testing.T) {
 	for _, info := range Locks() {
-		for _, model := range []machine.Model{Ideal, busModel, numaModel} {
+		for _, model := range []topo.Topology{Ideal, busModel, numaModel} {
 			info, model := info, model
-			t.Run(info.Name+"/"+model.String(), func(t *testing.T) {
+			t.Run(info.Name+"/"+model.Name(), func(t *testing.T) {
 				t.Parallel()
 				res, err := RunLock(
-					machine.Config{Procs: 8, Model: model, Seed: 7},
+					machine.Config{Procs: 8, Topo: model, Seed: 7},
 					info,
 					LockOpts{Iters: 40, CS: 10, Think: 25, CheckMutex: true},
 				)
@@ -35,10 +36,10 @@ func TestAllLocksMutualExclusion(t *testing.T) {
 }
 
 // Aliases so the table above reads naturally.
-const (
-	Ideal     = machine.Ideal
-	busModel  = machine.Bus
-	numaModel = machine.NUMA
+var (
+	Ideal     = topo.Ideal
+	busModel  = topo.Bus
+	numaModel = topo.NUMA
 )
 
 func TestAllLocksSingleProc(t *testing.T) {
@@ -46,7 +47,7 @@ func TestAllLocksSingleProc(t *testing.T) {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
 			res, err := RunLock(
-				machine.Config{Procs: 1, Model: machine.Bus},
+				machine.Config{Procs: 1, Topo: topo.Bus},
 				info,
 				LockOpts{Iters: 10, CheckMutex: true},
 			)
@@ -70,7 +71,7 @@ func TestFIFOLocksHaveNoInversions(t *testing.T) {
 		t.Run(info.Name, func(t *testing.T) {
 			t.Parallel()
 			res, err := RunLock(
-				machine.Config{Procs: 12, Model: machine.Bus, Seed: 3},
+				machine.Config{Procs: 12, Topo: topo.Bus, Seed: 3},
 				info,
 				LockOpts{Iters: 30, CS: 8, Think: 40, CheckMutex: true, RecordOrder: true},
 			)
@@ -92,7 +93,7 @@ func TestFIFOLocksHaveNoInversions(t *testing.T) {
 // canonical unfair lock here (see DESIGN.md, T3).
 func TestUnfairLocksShowInversions(t *testing.T) {
 	res, err := RunLock(
-		machine.Config{Procs: 12, Model: machine.Bus, Seed: 3},
+		machine.Config{Procs: 12, Topo: topo.Bus, Seed: 3},
 		mustLock(t, "tas-bo"),
 		LockOpts{Iters: 30, CS: 8, Think: 10, CheckMutex: true, RecordOrder: true},
 	)
@@ -119,7 +120,7 @@ func mustLock(t *testing.T, name string) LockInfo {
 func TestQSyncConstantTraffic(t *testing.T) {
 	traffic := func(procs int) float64 {
 		res, err := RunLock(
-			machine.Config{Procs: procs, Model: machine.Bus, Seed: 5},
+			machine.Config{Procs: procs, Topo: topo.Bus, Seed: 5},
 			mustLock(t, "qsync"),
 			LockOpts{Iters: 50, CS: 10, CheckMutex: true},
 		)
@@ -137,7 +138,7 @@ func TestQSyncConstantTraffic(t *testing.T) {
 func TestTASTrafficGrowsWithProcs(t *testing.T) {
 	traffic := func(procs int) float64 {
 		res, err := RunLock(
-			machine.Config{Procs: procs, Model: machine.Bus, Seed: 5},
+			machine.Config{Procs: procs, Topo: topo.Bus, Seed: 5},
 			mustLock(t, "tas"),
 			LockOpts{Iters: 30, CS: 10, CheckMutex: true},
 		)
@@ -156,7 +157,7 @@ func TestTASTrafficGrowsWithProcs(t *testing.T) {
 // stay small and flat.
 func TestQSyncLocalSpinOnNUMA(t *testing.T) {
 	res, err := RunLock(
-		machine.Config{Procs: 16, Model: machine.NUMA, Seed: 5},
+		machine.Config{Procs: 16, Topo: topo.NUMA, Seed: 5},
 		mustLock(t, "qsync"),
 		LockOpts{Iters: 50, CS: 10, CheckMutex: true},
 	)
@@ -175,7 +176,7 @@ func TestQSyncLocalSpinOnNUMA(t *testing.T) {
 func TestTicketRemoteSpinOnNUMAIsCostly(t *testing.T) {
 	run := func(name string) float64 {
 		res, err := RunLock(
-			machine.Config{Procs: 16, Model: machine.NUMA, Seed: 5},
+			machine.Config{Procs: 16, Topo: topo.NUMA, Seed: 5},
 			mustLock(t, name),
 			LockOpts{Iters: 30, CS: 10, CheckMutex: true},
 		)
@@ -192,7 +193,7 @@ func TestTicketRemoteSpinOnNUMAIsCostly(t *testing.T) {
 
 func TestDurationModeAndFairnessSpread(t *testing.T) {
 	res, err := RunLock(
-		machine.Config{Procs: 8, Model: machine.Bus, Seed: 11},
+		machine.Config{Procs: 8, Topo: topo.Bus, Seed: 11},
 		mustLock(t, "qsync"),
 		LockOpts{Duration: 50000, CS: 10, CheckMutex: true},
 	)
@@ -224,7 +225,7 @@ func TestUncontendedLockCost(t *testing.T) {
 	for _, info := range Locks() {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
-			cyc, traf, err := UncontendedLockCost(machine.Bus, info)
+			cyc, traf, err := UncontendedLockCost(topo.Bus, info)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -242,11 +243,11 @@ func TestUncontendedLockCost(t *testing.T) {
 // The classic single-processor ranking: test&set is the cheapest
 // uncontended lock; the queueing mechanism pays a few extra cycles.
 func TestUncontendedRankingTASBeatsQSync(t *testing.T) {
-	tas, _, err := UncontendedLockCost(machine.Bus, mustLock(t, "tas"))
+	tas, _, err := UncontendedLockCost(topo.Bus, mustLock(t, "tas"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	qs, _, err := UncontendedLockCost(machine.Bus, mustLock(t, "qsync"))
+	qs, _, err := UncontendedLockCost(topo.Bus, mustLock(t, "qsync"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Property: for arbitrary workload parameters, every lock preserves
@@ -21,9 +22,9 @@ func TestLockSafetyProperty(t *testing.T) {
 				procs := int(procsRaw%10) + 2
 				cs := sim.Time(csRaw % 60)
 				think := sim.Time(thinkRaw % 100)
-				for _, model := range []machine.Model{machine.Bus, machine.NUMA} {
+				for _, model := range []topo.Topology{topo.Bus, topo.NUMA} {
 					_, err := RunLock(
-						machine.Config{Procs: procs, Model: model, Seed: seed | 1},
+						machine.Config{Procs: procs, Topo: model, Seed: seed | 1},
 						info,
 						LockOpts{Iters: 15, CS: cs, Think: think, CheckMutex: true},
 					)
@@ -55,7 +56,7 @@ func TestBarrierSafetyProperty(t *testing.T) {
 				procs := int(procsRaw%14) + 1
 				work := sim.Time(workRaw % 200)
 				_, err := RunBarrier(
-					machine.Config{Procs: procs, Model: machine.NUMA, Seed: seed | 1},
+					machine.Config{Procs: procs, Topo: topo.NUMA, Seed: seed | 1},
 					info,
 					BarrierOpts{Episodes: 6, Work: work},
 				)
@@ -75,7 +76,7 @@ func TestRWSafetyProperty(t *testing.T) {
 		procs := int(procsRaw%8) + 2
 		frac := float64(fracRaw%101) / 100
 		_, err := RunRW(
-			machine.Config{Procs: procs, Model: machine.Bus, Seed: seed | 1},
+			machine.Config{Procs: procs, Topo: topo.Bus, Seed: seed | 1},
 			info,
 			RWOpts{Iters: 12, ReadFraction: frac, Work: 10, Think: 20},
 		)

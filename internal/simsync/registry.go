@@ -45,6 +45,7 @@ func init() {
 	SemaphoreSet.Register(
 		SemaphoreInfo{Name: "sem-central", Make: NewCentralSemaphore},
 		SemaphoreInfo{Name: "sem-qsync", Make: NewQSyncSemaphore},
+		SemaphoreInfo{Name: "sem-sharded", Make: NewShardedSemaphore},
 	)
 	CounterSet.Register(
 		CounterInfo{Name: "ctr-fa", Make: NewFetchAddCounter},

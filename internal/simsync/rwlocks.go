@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // RWLock is a simulated reader-writer lock.
@@ -238,7 +239,7 @@ type RWOpts struct {
 // RWResult reports a simulated reader-writer run.
 type RWResult struct {
 	Lock         string
-	Model        machine.Model
+	Topo         topo.Topology
 	Procs        int
 	Reads        uint64
 	Writes       uint64
@@ -315,7 +316,7 @@ func RunRWIn(pool *machine.Pool, cfg machine.Config, info RWLockInfo, opts RWOpt
 	total := reads + writes
 	res := RWResult{
 		Lock:   info.Name,
-		Model:  cfg.Model,
+		Topo:   cfg.Topo,
 		Procs:  cfg.Procs,
 		Reads:  reads,
 		Writes: writes,
@@ -324,7 +325,7 @@ func RunRWIn(pool *machine.Pool, cfg machine.Config, info RWLockInfo, opts RWOpt
 	}
 	if total > 0 {
 		res.CyclesPerOp = float64(st.Cycles) / float64(total)
-		res.TrafficPerOp = float64(st.TrafficFor(cfg.Model)) / float64(total)
+		res.TrafficPerOp = float64(st.TrafficFor(cfg.Topo)) / float64(total)
 	}
 	return res, nil
 }

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Every RW lock must uphold both exclusion invariants on every model
 // across read fractions.
 func TestRWLocksExclusion(t *testing.T) {
 	for _, info := range RWLocks() {
-		for _, model := range []machine.Model{machine.Ideal, machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
 			for _, frac := range []float64{0, 0.5, 0.9, 1} {
 				info, model, frac := info, model, frac
-				name := info.Name + "/" + model.String() + "/" + fmtFrac(frac)
+				name := info.Name + "/" + model.Name() + "/" + fmtFrac(frac)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					res, err := RunRW(
-						machine.Config{Procs: 8, Model: model, Seed: 13},
+						machine.Config{Procs: 8, Topo: model, Seed: 13},
 						info,
 						RWOpts{Iters: 30, ReadFraction: frac, Work: 15, Think: 30},
 					)
@@ -65,7 +66,7 @@ func TestRWLocksReadersShare(t *testing.T) {
 			const procs, iters = 8, 10
 			const work = 2000
 			res, err := RunRW(
-				machine.Config{Procs: procs, Model: machine.Ideal, Seed: 3},
+				machine.Config{Procs: procs, Topo: topo.Ideal, Seed: 3},
 				info,
 				RWOpts{Iters: iters, ReadFraction: 1, Work: work},
 			)
@@ -87,7 +88,7 @@ func TestRWLocksReadersShare(t *testing.T) {
 func TestRWQSyncWriterProgress(t *testing.T) {
 	info, _ := RWLockByName("rw-qsync")
 	res, err := RunRW(
-		machine.Config{Procs: 12, Model: machine.Bus, Seed: 17},
+		machine.Config{Procs: 12, Topo: topo.Bus, Seed: 17},
 		info,
 		RWOpts{Iters: 40, ReadFraction: 0.9, Work: 20, Think: 10},
 	)
@@ -104,7 +105,7 @@ func TestRWQSyncWriterProgress(t *testing.T) {
 func TestRWQSyncLocalSpinOnNUMA(t *testing.T) {
 	info, _ := RWLockByName("rw-qsync")
 	res, err := RunRW(
-		machine.Config{Procs: 16, Model: machine.NUMA, Seed: 9},
+		machine.Config{Procs: 16, Topo: topo.NUMA, Seed: 9},
 		info,
 		RWOpts{Iters: 30, ReadFraction: 0.5, Work: 15, Think: 20},
 	)
@@ -126,7 +127,7 @@ func TestRWDeterministicReplay(t *testing.T) {
 	run := func() RWResult {
 		info, _ := RWLockByName("rw-qsync")
 		res, err := RunRW(
-			machine.Config{Procs: 6, Model: machine.NUMA, Seed: 21},
+			machine.Config{Procs: 6, Topo: topo.NUMA, Seed: 21},
 			info,
 			RWOpts{Iters: 25, ReadFraction: 0.7, Work: 10, Think: 15},
 		)
@@ -145,7 +146,7 @@ func TestGraunkeThakkarBasics(t *testing.T) {
 	// The gt lock is covered by the registry-wide tests; pin down its
 	// FIFO property and flag-flipping reuse explicitly.
 	res, err := RunLock(
-		machine.Config{Procs: 10, Model: machine.Bus, Seed: 2},
+		machine.Config{Procs: 10, Topo: topo.Bus, Seed: 2},
 		mustLock(t, "gt"),
 		LockOpts{Iters: 50, CS: 10, Think: 20, CheckMutex: true, RecordOrder: true},
 	)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Semaphore is a simulated counting semaphore.
@@ -157,7 +158,7 @@ type PCOpts struct {
 // PCResult reports a simulated producer/consumer run.
 type PCResult struct {
 	Semaphore      string
-	Model          machine.Model
+	Topo           topo.Topology
 	Procs          int
 	Items          int
 	Cycles         sim.Time
@@ -250,7 +251,7 @@ func RunProducerConsumerIn(pool *machine.Pool, cfg machine.Config, info Semaphor
 	st := m.Stats()
 	res := PCResult{
 		Semaphore: info.Name,
-		Model:     cfg.Model,
+		Topo:      cfg.Topo,
 		Procs:     cfg.Procs,
 		Items:     opts.Items,
 		Cycles:    st.Cycles,
@@ -258,7 +259,7 @@ func RunProducerConsumerIn(pool *machine.Pool, cfg machine.Config, info Semaphor
 	}
 	if opts.Items > 0 {
 		res.CyclesPerItem = float64(st.Cycles) / float64(opts.Items)
-		res.TrafficPerItem = float64(st.TrafficFor(cfg.Model)) / float64(opts.Items)
+		res.TrafficPerItem = float64(st.TrafficFor(cfg.Topo)) / float64(opts.Items)
 	}
 	return res, nil
 }

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Both semaphores must conserve items through a bounded buffer on every
 // model, for odd processor counts and tiny buffers too.
 func TestSemaphoresProducerConsumer(t *testing.T) {
 	for _, info := range Semaphores() {
-		for _, model := range []machine.Model{machine.Ideal, machine.Bus, machine.NUMA} {
+		for _, model := range []topo.Topology{topo.Ideal, topo.Bus, topo.NUMA} {
 			for _, procs := range []int{2, 5, 8} {
 				info, model, procs := info, model, procs
-				name := info.Name + "/" + model.String() + "/" + itoa(procs)
+				name := info.Name + "/" + model.Name() + "/" + itoa(procs)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					res, err := RunProducerConsumer(
-						machine.Config{Procs: procs, Model: model, Seed: 31},
+						machine.Config{Procs: procs, Topo: model, Seed: 31},
 						info,
 						PCOpts{Items: 60, Capacity: 4, Work: 15},
 					)
@@ -39,7 +40,7 @@ func TestSemaphoreCapacityOne(t *testing.T) {
 		t.Run(info.Name, func(t *testing.T) {
 			t.Parallel()
 			_, err := RunProducerConsumer(
-				machine.Config{Procs: 6, Model: machine.Bus, Seed: 7},
+				machine.Config{Procs: 6, Topo: topo.Bus, Seed: 7},
 				info,
 				PCOpts{Items: 40, Capacity: 1},
 			)
@@ -53,7 +54,7 @@ func TestSemaphoreCapacityOne(t *testing.T) {
 func TestSemaphoreNeedsTwoProcs(t *testing.T) {
 	info, _ := SemaphoreByName("sem-qsync")
 	_, err := RunProducerConsumer(
-		machine.Config{Procs: 1, Model: machine.Bus},
+		machine.Config{Procs: 1, Topo: topo.Bus},
 		info, PCOpts{Items: 5, Capacity: 2},
 	)
 	if err == nil {
@@ -74,7 +75,7 @@ func TestSemaphoreTrafficNUMA(t *testing.T) {
 	run := func(name string) float64 {
 		info, _ := SemaphoreByName(name)
 		res, err := RunProducerConsumer(
-			machine.Config{Procs: 8, Model: machine.NUMA, Seed: 3},
+			machine.Config{Procs: 8, Topo: topo.NUMA, Seed: 3},
 			info,
 			// Zero work: consumers block hard on an empty buffer, which
 			// is where blocked-waiter traffic shows up.
@@ -95,7 +96,7 @@ func TestSemaphoreDeterministicReplay(t *testing.T) {
 	run := func() PCResult {
 		info, _ := SemaphoreByName("sem-qsync")
 		res, err := RunProducerConsumer(
-			machine.Config{Procs: 6, Model: machine.NUMA, Seed: 11},
+			machine.Config{Procs: 6, Topo: topo.NUMA, Seed: 11},
 			info, PCOpts{Items: 50, Capacity: 3, Work: 10},
 		)
 		if err != nil {

@@ -1,35 +1,52 @@
 package simsync
 
-import "repro/internal/machine"
+import (
+	"repro/internal/machine"
+	"repro/internal/topo"
+)
 
-// shardedCounter stripes the hot-spot counter across the machine: each
-// processor increments a stripe in its *own* local module, so an
-// increment is one local fetch&add — no interconnect transaction at all
-// on NUMA, and no invalidation storm on a bus. The global value exists
-// only on demand: ReadTotal combines the stripes, the SynCron-style
-// trade of hierarchical synchronization (arXiv:2101.07557) — spend a
-// P-wide combine on the rare read to make the hot write path O(1) and
-// contention-free.
+// shardedCounter stripes the hot-spot counter across the machine's
+// locality groups, placing each stripe through the machine's placement
+// policy (machine.AllocPlaced). On a flat machine every processor is
+// its own group, so this is the classic per-processor striping: an
+// increment is one local fetch&add — no interconnect transaction at
+// all on NUMA, and no invalidation storm on a bus. On a hierarchical
+// machine (topo.Cluster) the stripes land one per cluster on the
+// cluster's home module: increments pay at most a cheap intra-cluster
+// hop and the expensive inter-cluster links carry no counter traffic —
+// the SynCron-style near-data trade (arXiv:2101.07557) expressed as a
+// placement policy instead of a rewritten algorithm. The global value
+// exists only on demand: ReadTotal combines the stripes.
 //
 // Inc still returns a globally unique pre-increment value by giving
-// each stripe a disjoint residue class: stripe i hands out i, i+P,
-// i+2P, ... This is a sharded ticket dispenser — unique but not
-// FIFO-ordered across processors, which is exactly the discipline a
-// statistics counter or work-stealing id generator needs, and what the
-// central fetch&add pays a hot spot to over-deliver.
+// each stripe a disjoint residue class: stripe g hands out g, g+G,
+// g+2G, ... for G stripes. This is a sharded ticket dispenser — unique
+// but not FIFO-ordered across processors, which is exactly the
+// discipline a statistics counter or work-stealing id generator needs,
+// and what the central fetch&add pays a hot spot to over-deliver.
 type shardedCounter struct {
-	stripes []machine.Addr // one word per processor, in its local module
-	procs   machine.Word
+	stripes []machine.Addr // one per locality group, at the group's placed module
+	group   []machine.Word // processor -> stripe index (host-side, fixed at build)
+	groups  machine.Word
 }
 
-// NewShardedCounter builds the per-processor-striped counter.
+// NewShardedCounter builds the group-striped counter on m, placing
+// stripes through the machine's placement policy.
 func NewShardedCounter(m *machine.Machine) Counter {
+	t := m.Topo()
+	procs := m.Procs()
+	groups := topo.Groups(t, procs)
 	c := &shardedCounter{
-		stripes: make([]machine.Addr, m.Procs()),
-		procs:   machine.Word(m.Procs()),
+		stripes: make([]machine.Addr, groups),
+		group:   make([]machine.Word, procs),
+		groups:  machine.Word(groups),
 	}
-	for i := range c.stripes {
-		c.stripes[i] = m.AllocLocal(i, 1)
+	pl := m.Placement()
+	for g := 0; g < groups; g++ {
+		c.stripes[g] = m.AllocPlaced(pl, t.GroupHome(g, procs), 1)
+	}
+	for p := 0; p < procs; p++ {
+		c.group[p] = machine.Word(t.Group(p, procs))
 	}
 	return c
 }
@@ -37,8 +54,9 @@ func NewShardedCounter(m *machine.Machine) Counter {
 func (c *shardedCounter) Name() string { return "ctr-sharded" }
 
 func (c *shardedCounter) Inc(p *machine.Proc) machine.Word {
-	local := p.FetchAdd(c.stripes[p.ID()], 1)
-	return local*c.procs + machine.Word(p.ID())
+	g := c.group[p.ID()]
+	local := p.FetchAdd(c.stripes[g], 1)
+	return local*c.groups + g
 }
 
 // ReadTotal combines the stripes into the current global count. It is a

@@ -1,0 +1,81 @@
+package simsync
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// shardedSem is the counting semaphore built on the same placement
+// idea as the sharded counter: the permit pool is striped across the
+// machine's locality groups, each stripe living in its group's home
+// module (machine.AllocPlaced). V returns a permit to the caller's own
+// stripe — a cheap, contention-free fetch&add. P tries the caller's
+// stripe first and then sweeps the others, so a permit released
+// anywhere can satisfy a waiter anywhere (no lost permits), but in the
+// common producer/consumer steady state permits circulate within a
+// group and the expensive links stay quiet. On a flat machine every
+// processor is its own group and the semaphore degenerates to
+// per-processor permit caching with stealing.
+//
+// A stripe is decremented with a load + compare&swap pair (the era's
+// optimistic "decrement if positive"); a failed CAS just moves the
+// sweep along — some other processor got the permit, which is progress
+// globally. An empty sweep backs off for a fixed, draw-free delay
+// before rescanning, keeping the wait loop deterministic and bounded
+// per round.
+type shardedSem struct {
+	stripes []machine.Addr
+	group   []int32 // processor -> starting stripe
+	groups  int
+}
+
+// semScanBackoff is the fixed pause between permit sweeps. Draw-free
+// (no RNG), so waits stay cheap for the engine and identical across
+// runs by construction.
+const semScanBackoff = sim.Time(24)
+
+// NewShardedSemaphore builds the group-striped counting semaphore with
+// the initial permits distributed round-robin across stripes.
+func NewShardedSemaphore(m *machine.Machine, permits int) Semaphore {
+	t := m.Topo()
+	procs := m.Procs()
+	groups := topo.Groups(t, procs)
+	s := &shardedSem{
+		stripes: make([]machine.Addr, groups),
+		group:   make([]int32, procs),
+		groups:  groups,
+	}
+	pl := m.Placement()
+	for g := 0; g < groups; g++ {
+		s.stripes[g] = m.AllocPlaced(pl, t.GroupHome(g, procs), 1)
+	}
+	for p := 0; p < procs; p++ {
+		s.group[p] = int32(t.Group(p, procs))
+	}
+	for i := 0; i < permits; i++ {
+		g := s.stripes[i%groups]
+		m.Poke(g, m.Peek(g)+1)
+	}
+	return s
+}
+
+func (s *shardedSem) Name() string { return "sem-sharded" }
+
+func (s *shardedSem) P(p *machine.Proc) {
+	start := int(s.group[p.ID()])
+	for {
+		for k := 0; k < s.groups; k++ {
+			stripe := s.stripes[(start+k)%s.groups]
+			v := p.Load(stripe)
+			if v > 0 && p.CompareAndSwap(stripe, v, v-1) {
+				return
+			}
+		}
+		p.Delay(semScanBackoff)
+	}
+}
+
+func (s *shardedSem) V(p *machine.Proc) {
+	p.FetchAdd(s.stripes[s.group[p.ID()]], 1)
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // LockOpts configures a simulated lock workload.
@@ -26,7 +27,7 @@ type LockOpts struct {
 // LockResult is the outcome of one lock workload run.
 type LockResult struct {
 	Lock         string
-	Model        machine.Model
+	Topo         topo.Topology
 	Procs        int
 	Acquisitions uint64
 	Cycles       sim.Time
@@ -135,7 +136,7 @@ func RunLockIn(pool *machine.Pool, cfg machine.Config, info LockInfo, opts LockO
 	st := m.Stats()
 	res := LockResult{
 		Lock:         info.Name,
-		Model:        cfg.Model,
+		Topo:         cfg.Topo,
 		Procs:        procs,
 		Acquisitions: total,
 		Cycles:       st.Cycles,
@@ -149,7 +150,7 @@ func RunLockIn(pool *machine.Pool, cfg machine.Config, info LockInfo, opts LockO
 		// (CS + hand-off) regardless of P, so scalable locks plot flat
 		// and traffic-bound locks climb.
 		res.CyclesPerAcq = float64(st.Cycles) / float64(total)
-		res.TrafficPerAcq = float64(st.TrafficFor(cfg.Model)) / float64(total)
+		res.TrafficPerAcq = float64(st.TrafficFor(cfg.Topo)) / float64(total)
 	}
 	if opts.RecordOrder {
 		res.FIFOInversions = countInversions(records)
@@ -207,7 +208,7 @@ type BarrierOpts struct {
 // BarrierResult is the outcome of one barrier workload run.
 type BarrierResult struct {
 	Barrier           string
-	Model             machine.Model
+	Topo              topo.Topology
 	Procs             int
 	Episodes          int
 	Cycles            sim.Time
@@ -262,7 +263,7 @@ func RunBarrierIn(pool *machine.Pool, cfg machine.Config, info BarrierInfo, opts
 	st := m.Stats()
 	res := BarrierResult{
 		Barrier:  info.Name,
-		Model:    cfg.Model,
+		Topo:     cfg.Topo,
 		Procs:    procs,
 		Episodes: opts.Episodes,
 		Cycles:   st.Cycles,
@@ -270,23 +271,23 @@ func RunBarrierIn(pool *machine.Pool, cfg machine.Config, info BarrierInfo, opts
 	}
 	if opts.Episodes > 0 {
 		res.CyclesPerEpisode = float64(st.Cycles) / float64(opts.Episodes)
-		res.TrafficPerEpisode = float64(st.TrafficFor(cfg.Model)) / float64(opts.Episodes)
+		res.TrafficPerEpisode = float64(st.TrafficFor(cfg.Topo)) / float64(opts.Episodes)
 	}
 	return res, nil
 }
 
 // UncontendedLockCost measures the latency in cycles of a single
 // acquire/release pair with no contention whatsoever (T1).
-func UncontendedLockCost(model machine.Model, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
-	return UncontendedLockCostIn(nil, model, info)
+func UncontendedLockCost(tp topo.Topology, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
+	return UncontendedLockCostIn(nil, tp, info)
 }
 
 // UncontendedLockCostIn is UncontendedLockCost drawing its machine
 // from pool (see machines.go): the T1 table and its benchmark measure
 // one acquire/release pair per machine, so without pooling the
 // dominant cost of the sweep is machine construction, not simulation.
-func UncontendedLockCostIn(pool *machine.Pool, model machine.Model, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
-	m, err := getMachine(pool, machine.Config{Procs: 1, Model: model})
+func UncontendedLockCostIn(pool *machine.Pool, tp topo.Topology, info LockInfo) (acquireRelease sim.Time, traffic uint64, err error) {
+	m, err := getMachine(pool, machine.Config{Procs: 1, Topo: tp})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -298,7 +299,7 @@ func UncontendedLockCostIn(pool *machine.Pool, model machine.Model, info LockInf
 		// Warm the caches with one throwaway pair.
 		lock.Acquire(p)
 		lock.Release(p)
-		trafBefore = m.Stats().TrafficFor(model)
+		trafBefore = m.Stats().TrafficFor(tp)
 		start = p.Now()
 		lock.Acquire(p)
 		lock.Release(p)
@@ -307,5 +308,5 @@ func UncontendedLockCostIn(pool *machine.Pool, model machine.Model, info LockInf
 	if err != nil {
 		return 0, 0, err
 	}
-	return end - start, m.Stats().TrafficFor(model) - trafBefore, nil
+	return end - start, m.Stats().TrafficFor(tp) - trafBefore, nil
 }

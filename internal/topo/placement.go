@@ -1,0 +1,58 @@
+package topo
+
+import "repro/internal/registry"
+
+// Placement is a data-placement policy: given the topology and the
+// processor that primarily touches a word, it picks the module the
+// word should live in. Algorithms allocate through a policy (see
+// machine.AllocPlaced) instead of hardcoding "my own module", so the
+// same algorithm text places its words differently on different
+// machine shapes — per-processor stripes on a flat machine, cluster-
+// home shards on a hierarchical one.
+type Placement interface {
+	// Name is the registry key ("local", "group-home", "central").
+	Name() string
+	// Module picks the home module for a word owned (primarily
+	// touched) by processor owner on a procs-processor machine of
+	// topology t.
+	Module(t Topology, owner, procs int) int
+}
+
+// Canonical placement policies.
+var (
+	// PlaceLocal puts the word in the owner's own module — the
+	// classic local-spin placement.
+	PlaceLocal Placement = placeLocal{}
+	// PlaceGroup puts the word in the home module of the owner's
+	// locality group. On flat topologies every processor is its own
+	// group, so this degenerates to PlaceLocal; on a cluster machine
+	// it shares one module among the cluster.
+	PlaceGroup Placement = placeGroup{}
+	// PlaceCentral puts every word in module 0 — the deliberate
+	// hot-spot placement, for saturation experiments.
+	PlaceCentral Placement = placeCentral{}
+)
+
+// Placements is the placement-policy registry (populated at init in
+// topo.go alongside the topology registry).
+var Placements = registry.NewSet[Placement]("placements", Placement.Name)
+
+// PlacementByName resolves a registered placement policy.
+func PlacementByName(name string) (Placement, bool) { return Placements.ByName(name) }
+
+type placeLocal struct{}
+
+func (placeLocal) Name() string                            { return "local" }
+func (placeLocal) Module(t Topology, owner, procs int) int { return owner }
+
+type placeGroup struct{}
+
+func (placeGroup) Name() string { return "group-home" }
+func (placeGroup) Module(t Topology, owner, procs int) int {
+	return t.GroupHome(t.Group(owner, procs), procs)
+}
+
+type placeCentral struct{}
+
+func (placeCentral) Name() string                            { return "central" }
+func (placeCentral) Module(t Topology, owner, procs int) int { return 0 }

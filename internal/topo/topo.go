@@ -1,0 +1,158 @@
+// Package topo describes the shape of a simulated machine's memory
+// system: how many modules it has, which module a word calls home, what
+// a hop between a processor and a module costs, how remote spinning is
+// polled, and which interconnect metric the topology's experiments
+// headline. internal/machine consumes a Topology instead of switching
+// on a machine-model enum, so new memory systems — hierarchical
+// cluster machines, near-data topologies, asymmetric interconnects —
+// are one Register call away from every sweep, CLI flag, and benchmark,
+// exactly like algorithms are.
+//
+// Two invariants govern the package:
+//
+//   - The canonical Bus and NUMA instances must be bit-identical to the
+//     historical hardcoded models: same cycle counts, traffic counters,
+//     event sequencing, and spin-window decisions. The golden and
+//     determinism suites in internal/simsync enforce this.
+//   - A Topology only *describes* shape and cost; all mechanism
+//     (coherence protocol, port occupancy, event scheduling) stays in
+//     internal/machine. That keeps every topology automatically exact
+//     under the engine's inline fast path and window batching rules.
+package topo
+
+import (
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// Discipline is the memory-access protocol a topology runs under.
+// There are exactly three in the simulator: the mechanism of an access
+// is protocol business (internal/machine), while everything a topology
+// can compose — distances, groupings, homes, poll spacing — varies
+// freely within a discipline.
+type Discipline uint8
+
+const (
+	// Uniform is unit-latency uncontended memory, for unit tests.
+	Uniform Discipline = iota
+	// SnoopingBus is the write-invalidate cache-coherent protocol over
+	// one serializing bus (Sequent Symmetry class).
+	SnoopingBus
+	// Modules is the non-coherent distributed-memory protocol:
+	// per-module ports, distance-priced traversals, polled remote
+	// spinning (BBN Butterfly class and its hierarchical descendants).
+	Modules
+)
+
+// TrafficKind names the headline interconnect metric of a topology's
+// experiments: what Stats.TrafficFor counts.
+type TrafficKind uint8
+
+const (
+	// TrafficOps counts every memory operation (uniform machines).
+	TrafficOps TrafficKind = iota
+	// TrafficBusTxns counts bus transactions.
+	TrafficBusTxns
+	// TrafficRemoteRefs counts remote references.
+	TrafficRemoteRefs
+)
+
+// Unit is the per-operation unit label for tables ("bus txns",
+// "remote refs").
+func (k TrafficKind) Unit() string {
+	switch k {
+	case TrafficBusTxns:
+		return "bus txns"
+	case TrafficRemoteRefs:
+		return "remote refs"
+	}
+	return "ops"
+}
+
+// Timing carries the machine's configured timing parameters into the
+// topology's cost methods. Topologies price hops relative to these
+// knobs (rather than holding absolute numbers) so parameter-sensitivity
+// sweeps like A1 stay meaningful on every topology.
+type Timing struct {
+	CacheHit     sim.Time // cache hit (coherent machines)
+	BusLatency   sim.Time // full bus transaction
+	LocalMem     sim.Time // local module access
+	RemoteMem    sim.Time // reference network traversal for remote refs
+	PollInterval sim.Time // base spacing between remote spin polls
+}
+
+// Topology is the shape of one memory system. Implementations must be
+// stateless comparable values: a Topology is used as a configuration
+// key (pooled machines compare it on Reset) and shared by concurrent
+// sweeps.
+type Topology interface {
+	// Name is the registry key and table label ("bus", "numa", ...).
+	Name() string
+	// Discipline selects the access protocol internal/machine runs.
+	Discipline() Discipline
+	// MaxProcs is the topology's processor ceiling; 0 means only the
+	// simulator-wide cap applies.
+	MaxProcs() int
+	// Modules is the memory-module count of a procs-processor machine.
+	// Module i is attached to processor i; today every topology keeps
+	// one module per processor and varies distance instead.
+	Modules(procs int) int
+	// HomeModule maps shared-heap word index w to its home module
+	// (local regions always live with their owning processor).
+	HomeModule(w, procs int) int
+	// Group is the locality group (cluster) of processor p. Flat
+	// topologies make every processor its own group, so group-aware
+	// data placement degenerates to per-processor placement on them.
+	Group(p, procs int) int
+	// GroupHome is the canonical home module of group g — where
+	// group-shared words are placed.
+	GroupHome(g, procs int) int
+	// Traversal prices the network hops processor p pays to reach
+	// module mod, in cycles, on top of the module's service time.
+	// Zero means the access is module-local.
+	Traversal(p, mod int, tm Timing) sim.Time
+	// Remote reports whether an access by p to module mod counts as
+	// interconnect traffic (a remote reference).
+	Remote(p, mod int) bool
+	// PollSpacing is the base interval between successive polls when p
+	// spins on a remote word homed at mod (jitter is added by the
+	// machine on top).
+	PollSpacing(p, mod int, tm Timing) sim.Time
+	// RemoteTraversal reports the uniform remote traversal cost when
+	// every remote hop in the topology costs the same, which is the
+	// precondition for cross-processor spin-window batching on a
+	// Modules machine: a raw test&set storm is a strict rotation only
+	// if every spinner shares one probe period. Non-uniform topologies
+	// return ok=false and their storms replay per-event.
+	RemoteTraversal(tm Timing) (cost sim.Time, ok bool)
+	// Traffic names the headline interconnect metric.
+	Traffic() TrafficKind
+}
+
+// Groups returns the number of locality groups of a procs-processor
+// machine under t.
+func Groups(t Topology, procs int) int {
+	max := 0
+	for p := 0; p < procs; p++ {
+		if g := t.Group(p, procs); g > max {
+			max = g
+		}
+	}
+	return max + 1
+}
+
+// Registry is the topology registry: selectable in sweeps and CLIs
+// exactly like algorithm families. Canonical instances register at
+// init; new topologies add one Register call.
+var Registry = registry.NewSet[Topology]("topologies", Topology.Name)
+
+// ByName resolves a registered topology.
+func ByName(name string) (Topology, bool) { return Registry.ByName(name) }
+
+// Names lists registered topology names in canonical order.
+func Names() []string { return Registry.Names() }
+
+func init() {
+	Registry.Register(Ideal, Bus, NUMA, Cluster)
+	Placements.Register(PlaceLocal, PlaceGroup, PlaceCentral)
+}

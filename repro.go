@@ -81,6 +81,17 @@ type CentralCounter = sharded.CentralCounter
 // NewCentralCounter returns a zeroed central counter.
 func NewCentralCounter() *CentralCounter { return sharded.NewCentralCounter() }
 
+// ShardedSemaphore is the striped counting semaphore: permits live on
+// per-core stripes, releases go home, acquires sweep. Throughput over
+// fairness; the plain Semaphore remains the FIFO choice.
+type ShardedSemaphore = sharded.Semaphore
+
+// NewShardedSemaphore returns a striped semaphore holding permits
+// spread over at least stripes cells; stripes <= 0 sizes to GOMAXPROCS.
+func NewShardedSemaphore(permits int64, stripes int) *ShardedSemaphore {
+	return sharded.NewSemaphore(permits, stripes)
+}
+
 // ShardedRWMutex is the reader-biased sharded reader-writer lock:
 // readers take one shard, writers sweep them all.
 type ShardedRWMutex = sharded.RWMutex
