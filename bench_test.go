@@ -203,12 +203,15 @@ func BenchmarkMachineStormBatched(b *testing.B) {
 }
 
 // BenchmarkMachineClusterStorm — the same 32-processor raw test&set
-// storm on the two-level cluster topology. Cluster storms are
-// spin-window ineligible by construction (distance-dependent probe
-// periods break the uniform rotation), so this benchmark tracks the
-// per-event engine path on the hierarchical machine: the cost every
-// NUMA-aware placement scenario pays. The sharded pair (ctr-sharded
-// under the same pool) shows what group-home placement buys back.
+// storm on the two-level cluster topology. Since the per-distance-class
+// windows (PR 6) the hierarchical storm batches too: spinners are
+// partitioned by the topology's declared traversal classes and whole
+// mixed-period rotations are fast-forwarded through the cumulative
+// service schedule. This benchmark runs the default (windowed)
+// configuration the sweeps use; BenchmarkMachineClusterStormBatched
+// below isolates the mechanism with a windows/nowindows pair. The
+// sharded pair (ctr-sharded under the same pool) shows what group-home
+// placement buys back.
 func BenchmarkMachineClusterStorm(b *testing.B) {
 	b.Run("lock/tas", func(b *testing.B) {
 		info, ok := simsync.LockByName("tas")
@@ -258,6 +261,92 @@ func BenchmarkMachineClusterStorm(b *testing.B) {
 		}
 		b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
 	})
+}
+
+// BenchmarkMachineClusterStormBatched — the cluster twin of
+// BenchmarkMachineStormBatched: a 32-processor raw test&set storm on
+// the two-level cluster topology, windows on vs off over one pooled
+// machine shape. The storm mixes the topology's two traversal classes
+// (intra-cluster probes against the lock's home module and double-cost
+// inter-cluster ones), so the windowed leg exercises the mixed-service
+// rotation closed form rather than the bus machine's uniform-period
+// fast path; the ratio of the two legs' simops/s is what
+// per-distance-class batching buys on a hierarchical machine. The
+// simulated results are bit-identical (pinned by the determinism
+// suite's mixed-class storm test).
+func BenchmarkMachineClusterStormBatched(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		noWin bool
+	}{{"windows", false}, {"nowindows", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			info, ok := simsync.LockByName("tas")
+			if !ok {
+				b.Fatal("tas lock missing")
+			}
+			b.ReportAllocs()
+			pool := new(machine.Pool)
+			var ops, acqs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := simsync.RunLockIn(pool,
+					machine.Config{Procs: 32, Topo: topo.Cluster, Seed: uint64(i + 1),
+						SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: tc.noWin},
+					info,
+					simsync.LockOpts{Iters: 40, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := res.Stats
+				ops += st.Loads + st.Stores + st.RMWs
+				acqs += res.Acquisitions
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+		})
+	}
+}
+
+// BenchmarkMachineDeepClusterStorm — the P=256 deep-topology point of
+// the scaling sweeps (PR 6): a raw test&set storm on the cluster
+// machine four times past the bus protocol's 64-processor ceiling,
+// where the engine runs in heap mode throughout and the window
+// eligibility mask spans multiple words. Windows on vs off, pooled;
+// this is the configuration whose wall-clock bounds the P ∈ {256,
+// 1024} sweep tables in EXPERIMENTS.md.
+func BenchmarkMachineDeepClusterStorm(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		noWin bool
+	}{{"windows", false}, {"nowindows", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			info, ok := simsync.LockByName("tas")
+			if !ok {
+				b.Fatal("tas lock missing")
+			}
+			b.ReportAllocs()
+			pool := new(machine.Pool)
+			var ops, acqs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := simsync.RunLockIn(pool,
+					machine.Config{Procs: 256, Topo: topo.Cluster, Seed: uint64(i + 1),
+						SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: tc.noWin},
+					info,
+					simsync.LockOpts{Iters: 4, CS: 25, Think: 50, CheckMutex: true},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := res.Stats
+				ops += st.Loads + st.Stores + st.RMWs
+				acqs += res.Acquisitions
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(float64(acqs)/b.Elapsed().Seconds(), "acq/s")
+		})
+	}
 }
 
 // BenchmarkT1 — uncontended latency, simulated bus machine. Pooled,

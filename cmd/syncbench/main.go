@@ -159,12 +159,25 @@ func run() int {
 // carries the topology label (the json key predates the topology
 // subsystem and is kept for trajectory continuity).
 type simBenchResult struct {
-	Workload      string  `json:"workload"`
-	Model         string  `json:"model"`
-	Procs         int     `json:"procs"`
+	Workload string `json:"workload"`
+	Model    string `json:"model"`
+	Procs    int    `json:"procs"`
+	// Scale is the procs-axis-aware scaling label ("P32", "P256", ...):
+	// trajectory tooling that keys rows by (workload, model) predates
+	// the P ∈ {256, 1024} scaling points, and without the label those
+	// deep rows would collide with the canonical P=32 rows of the same
+	// workload. Always computed via simScaleLabel, never hand-written.
+	Scale         string  `json:"scale,omitempty"`
 	SimOpsPerSec  float64 `json:"sim_ops_per_sec"`
 	EventsPerSec  float64 `json:"events_per_sec"`
 	InlineOpsFrac float64 `json:"inline_ops_frac"` // fraction of ops retired on the fast path
+}
+
+// simScaleLabel renders the procs-axis scaling label for one snapshot
+// row, making (workload, model, scale) a collision-free row key across
+// the whole P axis.
+func simScaleLabel(procs int) string {
+	return fmt.Sprintf("P%d", procs)
 }
 
 // simBenchSnapshot is one dated measurement of the whole battery.
@@ -276,32 +289,50 @@ func writeSimBench(path string, quick bool, label string) error {
 	if err := simSnapshotConflict(f, snap); err != nil {
 		return err
 	}
-	// The P=32 raw-storm pair measures cross-processor spin-window
-	// batching directly: same workload with windows on (default) and
-	// forced off, so the trajectory file itself carries the speedup.
-	// The cluster rows track the per-event path on the hierarchical
-	// topology (its storms are window-ineligible by construction).
+	// The windows-on/off pairs measure spin-window batching directly:
+	// same workload with windows on (default) and forced off, so the
+	// trajectory file itself carries the speedup. Since the
+	// per-distance-class rotations (PR 6) the cluster storms batch too
+	// — their pairs track the mixed-service closed form against the
+	// per-event path on the hierarchical machine. The deep P ∈ {256,
+	// 1024} rows are the scaling points: storms grow with P, so those
+	// rows carry their own (smaller) iteration counts to keep cell cost
+	// roughly flat, and their procs-axis scale labels keep them from
+	// colliding with the canonical P=32 rows.
 	battery := []struct {
 		lock  string
 		topo  topo.Topology
 		procs int
 		noWin bool
+		iters int // 0 = battery default
 	}{
-		{"tas", topo.Bus, 8, false},
-		{"tas", topo.Bus, 32, false},
-		{"tas", topo.Bus, 32, true},
-		{"ttas", topo.Bus, 8, false},
-		{"tas-bo", topo.Bus, 8, false},
-		{"qsync", topo.Bus, 8, false},
-		{"qsync", topo.NUMA, 16, false},
-		{"tas", topo.Cluster, 32, false},
-		{"qsync", topo.Cluster, 16, false},
+		{"tas", topo.Bus, 8, false, 0},
+		{"tas", topo.Bus, 32, false, 0},
+		{"tas", topo.Bus, 32, true, 0},
+		{"ttas", topo.Bus, 8, false, 0},
+		{"tas-bo", topo.Bus, 8, false, 0},
+		{"qsync", topo.Bus, 8, false, 0},
+		{"qsync", topo.NUMA, 16, false, 0},
+		{"tas", topo.Cluster, 32, false, 0},
+		{"tas", topo.Cluster, 32, true, 0},
+		{"qsync", topo.Cluster, 16, false, 0},
+		// Deep scaling points (heap-mode engine, multi-word window masks).
+		{"tas", topo.NUMA, 256, false, 8},
+		{"tas", topo.NUMA, 256, true, 8},
+		{"tas", topo.Cluster, 256, false, 8},
+		{"tas", topo.Cluster, 256, true, 8},
+		{"tas", topo.Cluster, 1024, false, 2},
+		{"tas", topo.Cluster, 1024, true, 2},
 	}
 	pool := new(machine.Pool)
 	for _, bc := range battery {
 		info, ok := simsync.LockByName(bc.lock)
 		if !ok {
 			return fmt.Errorf("simjson: unknown lock %q", bc.lock)
+		}
+		cellIters := iters
+		if bc.iters > 0 {
+			cellIters = bc.iters
 		}
 		var ops, events, inline uint64
 		start := time.Now()
@@ -310,7 +341,7 @@ func writeSimBench(path string, quick bool, label string) error {
 				machine.Config{Procs: bc.procs, Topo: bc.topo, Seed: uint64(r + 1),
 					SharedWords: 1 << 12, LocalWords: 1 << 8, NoSpinWindows: bc.noWin},
 				info,
-				simsync.LockOpts{Iters: iters, CS: 25, Think: 50, CheckMutex: true},
+				simsync.LockOpts{Iters: cellIters, CS: 25, Think: 50, CheckMutex: true},
 			)
 			if err != nil {
 				return fmt.Errorf("simjson: %s: %w", bc.lock, err)
@@ -327,6 +358,7 @@ func writeSimBench(path string, quick bool, label string) error {
 		}
 		res := simBenchResult{
 			Workload: name, Model: bc.topo.Name(), Procs: bc.procs,
+			Scale:        simScaleLabel(bc.procs),
 			SimOpsPerSec: float64(ops) / el,
 			EventsPerSec: float64(events) / el,
 		}

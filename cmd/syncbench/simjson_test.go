@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -83,6 +85,74 @@ func TestMergeSimSnapshotAppendsAndReplaces(t *testing.T) {
 	}
 	if len(f.Snapshots) != 3 {
 		t.Fatalf("later date should append: got %d snapshots", len(f.Snapshots))
+	}
+}
+
+// TestSimScaleLabelRoundTrip pins the procs-axis scaling label (PR 6):
+// the deep P ∈ {256, 1024} battery rows must land in the trajectory as
+// distinct rows — (workload, model, scale) is the collision-free key —
+// and the label must survive a write/load round trip through the
+// trajectory file, including past a merge that replaces the snapshot.
+func TestSimScaleLabelRoundTrip(t *testing.T) {
+	if got, want := simScaleLabel(32), "P32"; got != want {
+		t.Fatalf("simScaleLabel(32) = %q, want %q", got, want)
+	}
+	row := func(workload, model string, procs int) simBenchResult {
+		return simBenchResult{
+			Workload: workload, Model: model, Procs: procs,
+			Scale: simScaleLabel(procs), SimOpsPerSec: float64(procs),
+		}
+	}
+	snap := simBenchSnapshot{
+		Date:  "2026-08-08",
+		Label: "scaling sweep",
+		Results: []simBenchResult{
+			row("lock/tas", "cluster", 32),
+			row("lock/tas", "cluster", 256),
+			row("lock/tas-nowin", "cluster", 256),
+			row("lock/tas", "cluster", 1024),
+			row("lock/tas", "numa", 256),
+		},
+	}
+	// The deep points share (workload, model) with the canonical rows;
+	// the scale label is what keeps the row keys distinct.
+	keys := map[string]bool{}
+	for _, r := range snap.Results {
+		k := r.Workload + "@" + r.Model + "/" + r.Scale
+		if keys[k] {
+			t.Fatalf("duplicate row key %q: scale label does not disambiguate", k)
+		}
+		keys[k] = true
+	}
+
+	var f simBenchFile
+	f, err := mergeSimSnapshot(f, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Experiment = "round trip"
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSimBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Snapshots) != 1 {
+		t.Fatalf("round trip changed snapshot count: %d", len(got.Snapshots))
+	}
+	if !reflect.DeepEqual(got.Snapshots[0], snap) {
+		t.Fatalf("snapshot changed across the round trip:\n  wrote %+v\n  read  %+v", snap, got.Snapshots[0])
+	}
+	for _, r := range got.Snapshots[0].Results {
+		if r.Scale != simScaleLabel(r.Procs) {
+			t.Errorf("row %s@%s: scale %q does not match procs %d", r.Workload, r.Model, r.Scale, r.Procs)
+		}
 	}
 }
 

@@ -192,6 +192,54 @@ func TestAlgosFilter(t *testing.T) {
 	}
 }
 
+// TestScalingSweepSkipsOverCeilingBus pins the skip (not error)
+// contract for protocol-limited topologies on shared processor axes:
+// the scaling sweep's quick axis crosses the bus machine's 64-sharer
+// ceiling, and the bus column must come back as skipped cells while
+// the unlimited topologies' cells in the same rows carry numbers.
+func TestScalingSweepSkipsOverCeilingBus(t *testing.T) {
+	tables, err := runScalingSweep(Options{Quick: true, Seed: 1, Topos: []string{"bus", "cluster"}})
+	if err != nil {
+		t.Fatalf("sweep across the bus ceiling errored instead of skipping: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	for _, tb := range tables {
+		col := func(name string) int {
+			for i, c := range tb.Cols {
+				if c == name {
+					return i
+				}
+			}
+			t.Fatalf("%s: column %q missing (cols: %v)", tb.ID, name, tb.Cols)
+			return -1
+		}
+		bus, cluster := col("bus"), col("cluster")
+		checkedSkip := false
+		for _, row := range tb.Rows {
+			var p int
+			if _, err := fmt.Sscanf(row[0], "%d", &p); err != nil {
+				t.Fatalf("%s: bad P cell %q", tb.ID, row[0])
+			}
+			if row[cluster] == skippedCell {
+				t.Errorf("%s P=%d: unlimited cluster column skipped", tb.ID, p)
+			}
+			if p > 64 {
+				checkedSkip = true
+				if row[bus] != skippedCell {
+					t.Errorf("%s P=%d: bus cell = %q, want skipped %q", tb.ID, p, row[bus], skippedCell)
+				}
+			} else if row[bus] == skippedCell {
+				t.Errorf("%s P=%d: bus cell skipped below its ceiling", tb.ID, p)
+			}
+		}
+		if !checkedSkip {
+			t.Fatalf("%s: quick axis never crossed the bus ceiling — skip path untested", tb.ID)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if err := RunIDs([]string{"nope"}, Options{Quick: true}, &buf); err == nil {

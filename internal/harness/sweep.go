@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +14,19 @@ import (
 	"repro/internal/registry"
 	"repro/internal/simsync"
 )
+
+// errSkipCell is returned by a measure function for a cell that cannot
+// run on this axis point — e.g. a bus-machine cell above the snooping
+// protocol's 64-processor sharer-bitmask ceiling in a sweep whose P
+// axis is shared across topologies. The sweep records the cell as
+// skipped (rendered as skippedCell) instead of failing the run, so
+// `-topo=` scaling sweeps at P=256 complete cleanly across the whole
+// registry. Contrast clipProcs, which trims the axis itself when the
+// axis belongs to a single topology.
+var errSkipCell = errors.New("harness: cell skipped (axis point above topology ceiling)")
+
+// skippedCell marks a skipped cell in rendered tables and CSVs.
+const skippedCell = "-"
 
 // This file is the backend-agnostic sweep engine shared by every
 // per-family experiment file (sweep_locks.go, sweep_barriers.go,
@@ -114,6 +128,9 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 		ai, aj := cell/len(algos), cell%len(algos)
 		vals, merr := measure(ai, algos[aj], pool)
 		if merr != nil {
+			if errors.Is(merr, errSkipCell) {
+				return nil // leave the slot nil; rendered as skippedCell
+			}
 			return merr
 		}
 		results[ai][aj] = vals
@@ -130,7 +147,11 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 		}
 		for aj := range algos {
 			for mi := range metrics {
-				rows[mi] = append(rows[mi], Fmt(results[ai][aj][mi]))
+				if results[ai][aj] == nil {
+					rows[mi] = append(rows[mi], skippedCell)
+				} else {
+					rows[mi] = append(rows[mi], Fmt(results[ai][aj][mi]))
+				}
 			}
 		}
 		for mi := range tables {

@@ -249,11 +249,22 @@ type Machine struct {
 	// per processor; winSet/winOrder/winRetimes are reusable scratch
 	// for the detector.
 	winEnabled bool // set by Reset: windows possible on this config at all
+	// winClassed caches the topology's TraversalClasses declaration for
+	// Modules machines: storms are window-eligible only on topologies
+	// that declare a closed set of remote distance classes.
+	winClassed bool
 	spinStreak int
 	winCount   int
 	winMask    []uint64
 	winSeen    []uint64
 	winSet     []sim.WindowEvent
+	// Per-position scratch for mixed-period windows (window.go): probe
+	// service times, fixed backoff delays, and their prefix sums in
+	// rotation order.
+	winSvc  []sim.Time
+	winDel  []sim.Time
+	winPre  []sim.Time
+	winBPre []uint64
 	// winRMWs defers window-charged per-processor RMW/traffic counts:
 	// the window commit writes this flat array instead of chasing a
 	// pointer into every spinner's Proc, and Stats() folds it into the
@@ -354,6 +365,10 @@ func (m *Machine) Reset(cfg Config) error {
 
 	m.stats = Stats{}
 	m.winEnabled = !cfg.NoSpinWindows && m.disc != topo.Uniform
+	m.winClassed = false
+	if m.disc == topo.Modules {
+		_, m.winClassed = m.topo.TraversalClasses(m.tm)
+	}
 	m.spinStreak = 0
 	m.winCount = 0
 	m.winMask = resetSlice(m.winMask, (cfg.Procs+63)/64)
@@ -373,6 +388,17 @@ func resetSlice[T any](s []T, n int) []T {
 	s = s[:n]
 	clear(s)
 	return s
+}
+
+// growSlice returns s resized to n elements WITHOUT clearing: every
+// element's value is unspecified and the caller must write all n. Used
+// by the window batcher's per-attempt scratch arrays, which are fully
+// rebuilt each attempt (clearing them first was measurable).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // resizeKeep returns s resized to n elements, preserving existing
@@ -478,8 +504,8 @@ func (m *Machine) Stats() Stats {
 		// Fold in the deferred window charges (window.go): every
 		// window-charged operation is an RMW, and its traffic kind is
 		// fixed by the model (a bus transaction per probe on Bus; a
-		// remote reference per probe on NUMA, where window spinners
-		// are all remote).
+		// remote reference per probe on module machines, where window
+		// spinners are all remote to the probed word's home).
 		if i < len(m.winRMWs) && m.winRMWs[i] != 0 {
 			s.PerProc[i].RMWs += m.winRMWs[i]
 			if m.disc == topo.SnoopingBus {

@@ -108,11 +108,17 @@ type spinState struct {
 	phase  uint8
 	poll   bool // remote word on a module machine: periodic polling instead of watching
 	// winStatic is the spin-entry-time half of cross-processor window
-	// eligibility (window.go): a draw-free raw test&set on a model
-	// with a serializing resource. The dynamic half — the last probe
-	// read non-zero — is tracked in the machine's eligibility mask at
-	// each issue.
+	// eligibility (window.go): a draw-free raw or fixed-backoff
+	// test&set on a model with a serializing resource. The dynamic
+	// half — the last probe read non-zero — is tracked in the
+	// machine's eligibility mask at each issue.
 	winStatic bool
+	// winService is this spinner's probe service time on the
+	// serializing resource (BusLatency, or LocalMem plus the declared
+	// distance-class traversal to the probed word's home module),
+	// cached at spin entry so the window detector never recomputes the
+	// topology's hop price per scan. Valid only while winStatic.
+	winService sim.Time
 	addr      Addr
 	pred      Pred
 	bo        Backoff
@@ -273,6 +279,13 @@ func (m *Machine) spinAdvance(p *Proc) bool {
 			}
 			if s.bo.Base > 0 {
 				if !p.spinComplete(s.nextDelay(p), spTASIssue) {
+					// The delay scheduled as its own event: the pending
+					// entry is now an issue, not a probe completion, so
+					// the spinner is not window-batchable until the
+					// next issue re-evaluates the mask.
+					if s.winStatic {
+						m.setWinMask(p.id, false)
+					}
 					return false
 				}
 				continue

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -14,65 +15,96 @@ import (
 // contended storm the pending events are the *other* spinners' probes,
 // so an interleaved storm still replays every probe through the engine
 // queue. This file batches across processors: when every event the
-// engine will fire before a computable horizon is a raw test&set probe
-// with a draw-free constant-period schedule, the whole window
+// engine will fire before a computable horizon is a test&set probe
+// with a draw-free deterministic schedule, the whole window
 // [now, horizon) is charged in closed form and the clock advances in
 // one step.
 //
-// Why that is exact. A saturated raw test&set storm serializes on one
-// resource — the single bus, or the probed word's home module on NUMA —
-// which serves exactly one probe per fixed period T (BusLatency on the
-// bus; LocalMem+RemoteMem for an all-remote module storm). Each probe
+// Why that is exact. A saturated test&set storm serializes on one
+// resource — the single bus, or the probed word's home module on a
+// module machine — which serves exactly one probe at a time. Each probe
 // completion pops, judges its predicate (it provably fails: the word
 // stays non-zero, since the only in-window writes are the failing
-// test&sets' idempotent stores of 1), immediately issues the next
-// probe, and parks again. The probe completions therefore form a
-// strict rotation of the spinners in the (when, seq) order of their
-// pending events at window start: the j-th in-window pop fires at
-// F + j·T (F = the resource's free point), performs one RMW, one
-// traffic charge, one step/work debit, and consumes exactly one
-// sequence number for the successor it schedules. Every quantity the
-// simulation can observe — per-processor RMW and traffic counters,
-// resource occupancy, the step and sequence counters, the value each
-// probe reads, and the (when, seq) of each spinner's pending event at
-// the horizon — is then closed-form arithmetic in j. The window
+// test&sets' idempotent stores of 1), immediately reissues, and parks
+// again. The probe completions therefore form a strict rotation of the
+// spinners in the (when, seq) order of their pending events at window
+// start. With per-position service times S_1..S_n (one per spinner, in
+// rotation order: BusLatency on the bus, LocalMem plus the spinner's
+// declared distance-class traversal on a module machine), the j-th
+// in-window pop reissues into the busy resource and completes at
+// F + cumS(j), where F is the resource's free point and cumS(j) is the
+// sum of the first j services of the cyclic schedule
+// (cumS(j) = (j/n)·R + pre[j mod n], R the whole-rotation sum). Each
+// pop performs one RMW, one traffic charge, one step/work debit, and
+// consumes exactly one sequence number for the successor it schedules.
+// Every quantity the simulation can observe — per-processor RMW and
+// traffic counters, resource occupancy, the step and sequence counters,
+// the value each probe reads, and the (when, seq) of each spinner's
+// pending event at the horizon — is then closed-form arithmetic in j.
+// Interleaved distance classes still pop in global (when, seq) order;
+// the cyclic cumS schedule reproduces that order's tie-breaks exactly
+// because every reissue joins the same serial queue. The window
 // detector verifies the preconditions of that argument and refuses
 // anything else, so enabling windows is bit-identical to per-event
 // execution by construction (Config.NoSpinWindows exists purely for
 // A/B tests and perf comparisons).
 //
+// Three window shapes commit:
+//
+//   - The uniform raw rotation (PR 4): every spinner shares one probe
+//     period, positions are recovered arithmetically from the pending
+//     timestamps, and the whole storm fast-forwards to the horizon.
+//   - The mixed-schedule rotation: spinners in different distance
+//     classes (cluster's intra- vs inter-hop periods) and jitter-free
+//     fixed-backoff spinners (constant delay D between failed probes)
+//     rotate together. A backoff pop is exact only in the regime where
+//     its delay retires inline — ends strictly before the next event
+//     fires — and its reissue still queues on the busy resource
+//     (c_j + D within the current rotation); both are verified
+//     per-position before committing, and the delay's inline budget
+//     charge is replayed arithmetically.
+//   - The release/takeover drain: when the storm word has been freed,
+//     the pending probes judge-fail one last time and reissue; the
+//     first reissue reads zero and wins the word (its value and
+//     eligibility bit are materialized), every later reissue reads the
+//     winner's 1 and parks. One pop per pending probe, after which the
+//     winner's completion resumes the program per-event.
+//
 // Preconditions checked by tryWindow, and why each one matters:
 //
 //   - Every pending event before the horizon is an EvSpin whose
-//     processor sits in a raw-TAS spin (kind spinTAS, phase
-//     spTASJudge, zero Backoff — no RNG draws, no growing delay) on
-//     one shared address. Anything else — a dispatch, a closure, a
-//     TTAS burst probe, a jittered backoff probe, a woken read-spin —
-//     becomes the horizon instead, truncating (not aborting) the
-//     window.
-//   - The last probe it issued read a non-zero value (spin.val != 0):
-//     a spinner whose in-flight probe read 0 is about to win the word
-//     and leave the storm.
-//   - The probed word is non-zero with no watchers: the predicate
-//     stays false all window and no probe wakes anybody.
+//     processor sits in a window-eligible test&set spin (kind spinTAS,
+//     phase spTASJudge, draw-free non-growing Backoff) on one shared
+//     address. Anything else — a dispatch, a closure, a TTAS burst
+//     probe, a jittered backoff probe, a woken read-spin, a scheduled
+//     backoff delay — becomes the horizon instead, truncating (not
+//     aborting) the window.
+//   - The last probe each spinner issued read a non-zero value
+//     (spin.val != 0): all in-window judges provably fail. (A freed
+//     word flips the attempt into drain mode instead.)
+//   - The probed word has no watchers: no probe wakes anybody.
 //   - Bus: the word's exclusive owner is not the first spinner in
 //     rotation. In rotation every probe is preceded by a different
 //     processor's probe, so it is a full bus transaction; only the
 //     window's first probe could instead be a cache hit (and a
-//     spinBatchTAS candidate), which would break the uniform period.
-//   - NUMA: every window spinner is remote to the word's home module,
-//     so all probes share one service time. A local spinner (the home
-//     processor itself) has a shorter period and can trigger
-//     spinBatchTAS mid-storm; its events bound the window instead.
+//     spinBatchTAS candidate), which would break the service schedule.
+//   - Modules: every window spinner is remote to the word's home
+//     module, on a topology declaring closed traversal classes
+//     (topo.TraversalClasses), so each spinner's service time is a
+//     storm-stable constant. The home processor itself has a shorter
+//     period and can trigger spinBatchTAS mid-storm; its events bound
+//     the window instead.
 //   - Saturation: the resource's free point F is at or past the last
-//     pending probe completion, so every in-window probe starts at F
-//     plus a whole number of periods. This holds whenever the pending
-//     completions were themselves scheduled by the resource (F *is*
-//     the last completion); the check guards the cold-start transient.
-//   - The pop budget: the window never charges more pops than the
-//     engine may still fire, so a livelocked storm trips ErrStepLimit
-//     at exactly the event where per-event execution would — but
-//     reaches it in one window instead of 10^8 pops.
+//     pending probe completion, so every in-window reissue queues on
+//     the resource and the cumS schedule is exact. This holds whenever
+//     the pending completions were themselves scheduled by the
+//     resource (F *is* the last completion); the check guards the
+//     cold-start transient.
+//   - The pop budget: the window never charges more pops (or inline
+//     delay charges) than the engine may still fire, so a livelocked
+//     storm trips ErrStepLimit at exactly the event where per-event
+//     execution would — but reaches it in one window instead of 10^8
+//     pops.
 const (
 	// windowRetry is how many probes to wait before rescanning after a
 	// failed attempt (storms that are structurally ineligible — RNG
@@ -89,10 +121,13 @@ const (
 // The eligibility bitmask. Scanning the queue per attempt must not
 // chase a pointer into every spinner's Proc struct, so the spin
 // machinery maintains one bit per processor: set exactly while the
-// processor's pending EvSpin (if any) is a window-eligible raw-TAS
+// processor's pending EvSpin (if any) is a window-eligible test&set
 // probe completion that read a non-zero value. The static part
 // (spinState.winStatic) is computed once at spin entry; the dynamic
-// part follows the value each issued probe reads.
+// part follows the value each issued probe reads (and clears while a
+// backoff delay is scheduled as an event). The mask is a word-indexed
+// bit array, so eligibility tracking scales past 64 processors — the
+// P ∈ {256, 1024} sweeps run the same code path with more words.
 
 func (m *Machine) setWinMask(pid int, ok bool) {
 	w := &m.winMask[pid>>6]
@@ -112,37 +147,70 @@ func (m *Machine) winMaskBit(pid int32) bool {
 	return m.winMask[pid>>6]&(uint64(1)<<uint(pid&63)) != 0
 }
 
-// winStatic reports the spin-entry-time part of window eligibility:
-// a raw test&set (draw-free, constant period — no RNG jitter, no
-// growing delay) on a machine with a serializing resource, and on a
-// module machine only a spinner remote to the word's home module on a
-// topology with a uniform remote traversal cost (a local spinner's
-// shorter service period — or a hierarchy's distance-dependent hops —
-// breaks the uniform rotation the closed form depends on; such storms
-// replay per-event, still exact).
+// winStatic reports the spin-entry-time part of window eligibility: a
+// test&set with a draw-free, non-growing delay schedule (no RNG
+// jitter; raw retries or a constant fixed backoff) on a machine with a
+// serializing resource, and on a module machine only a spinner remote
+// to the word's home module on a topology declaring closed traversal
+// classes (a local spinner's shorter service period breaks the
+// rotation the closed form depends on; undeclared topologies replay
+// per-event, still exact).
+// On success it caches the spinner's probe service time in
+// spinState.winService (one topology hop-price call per spin entry,
+// not per window scan).
 func (m *Machine) winStatic(p *Proc, kind uint8, a Addr, bo Backoff) bool {
-	if !m.winEnabled || kind != spinTAS || bo.Base != 0 || bo.PropJitter {
+	if !m.winEnabled || kind != spinTAS || bo.PropJitter {
 		return false
+	}
+	if bo.Base != 0 && bo.Cap > bo.Base {
+		return false // growing schedule: the probe period is not constant
 	}
 	switch m.disc {
 	case topo.SnoopingBus:
+		p.spin.winService = m.cfg.BusLatency
 		return true
 	case topo.Modules:
-		if _, uniform := m.topo.RemoteTraversal(m.tm); !uniform {
+		if !m.winClassed {
 			return false
 		}
-		return m.home(a) != p.id
+		mod := m.home(a)
+		if mod == p.id {
+			return false
+		}
+		p.spin.winService = m.cfg.LocalMem + m.topo.Traversal(p.id, mod, m.tm)
+		return true
 	}
 	return false
 }
 
 // sortSet orders set by (When, Seq) — the pop order at window start.
-// Only the cold-start fallback needs an explicit sort: in a saturated
-// storm the pending completions are exactly period-spaced, so
-// rotation positions are computed arithmetically (see tryWindow) and
-// the set stays unsorted. Insertion sort: the set is small and nearly
-// sorted (completions were scheduled in increasing time order).
+// The uniform fast path needs it only as a cold-start fallback: in a
+// saturated uniform storm the pending completions are exactly
+// period-spaced, so rotation positions are computed arithmetically
+// (see tryWindow) and the set stays unsorted. Mixed-schedule windows
+// sort always — their pending spacing depends on the order itself.
+// Small sets use insertion sort: they are nearly sorted (completions
+// were scheduled in increasing time order) and the constant beats any
+// general sorter. Deep-machine storms are another matter — at P ∈
+// {256, 1024} a heap-ordered set of hundreds of probes is far from
+// sorted and insertion sort's quadratic worst case shows up in the
+// profile — so large sets go to the standard pattern-defeating sort.
 func sortSet(set []sim.WindowEvent) {
+	if len(set) >= 48 {
+		slices.SortFunc(set, func(a, b sim.WindowEvent) int {
+			if a.When != b.When {
+				if a.When < b.When {
+					return -1
+				}
+				return 1
+			}
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		})
+		return
+	}
 	for i := 1; i < len(set); i++ {
 		e := set[i]
 		j := i - 1
@@ -161,20 +229,19 @@ func sortSet(set []sim.WindowEvent) {
 // drive loop only.
 func (m *Machine) tryWindow(next Addr) {
 	m.spinStreak = -windowRetry
-	// Cheap early-outs before paying for a queue scan: a rotation
-	// needs at least two eligible spinners, and a freed storm word
-	// means a takeover is in flight (the winner's zero-read probe must
-	// drain per-event before the storm can re-form).
+	// A rotation (or drain) needs at least two eligible spinners.
 	if m.winCount < 2 {
 		return
 	}
-	if m.mem[next] == 0 {
+	// A freed storm word means a takeover is in flight: the pending
+	// probes judge-fail and reissue, and the first reissue wins. That
+	// is the release drain — handled in closed form by the slow path.
+	drain := m.mem[next] == 0
+	if drain {
 		m.spinStreak = -windowRetryStorm
-		return
 	}
 	eng := m.eng
-	pend := eng.Pending()
-	if pend < windowMinPops {
+	if eng.Pending() < windowMinPops {
 		return
 	}
 
@@ -187,13 +254,23 @@ func (m *Machine) tryWindow(next Addr) {
 	addr := next
 	set, horizonWhen, horizonSeq, haveHorizon := eng.ScanWindow(sim.EvSpin, int32(addr), m.winMask, m.winSet[:0])
 	m.winSet = set // keep the grown buffer
-	if len(set) == 0 {
+	if len(set) < 2 {
+		return // rotation (and its alternating-owner argument) needs >= 2
+	}
+
+	// A storm is present; any remaining blocker is transient (a winner
+	// draining out of the rotation, a release in flight), so retry
+	// sooner than the structural backoff would.
+	m.spinStreak = -windowRetryStorm
+	if m.watchHead[addr] != 0 {
 		return
 	}
+
+	// Only probes ordered before the horizon fire in the window; track
+	// the window's time extent in the same pass (filtering first also
+	// keeps the general path's insertion sort on the small live set).
 	tmin, tmax := set[0].When, set[0].When
 	if haveHorizon {
-		// Only probes ordered before the horizon fire in the window;
-		// track the window's time extent in the same pass.
 		k := 0
 		for _, e := range set {
 			if e.When < horizonWhen || (e.When == horizonWhen && e.Seq < horizonSeq) {
@@ -220,40 +297,37 @@ func (m *Machine) tryWindow(next Addr) {
 	}
 	n := len(set)
 	if n < 2 {
-		return // rotation (and its alternating-owner argument) needs >= 2
-	}
-
-	// A storm is present; any remaining blocker is transient (a winner
-	// draining out of the rotation, a release in flight), so retry
-	// sooner than the structural backoff would.
-	m.spinStreak = -windowRetryStorm
-	if m.mem[addr] == 0 || m.watchHead[addr] != 0 {
 		return
 	}
-	var period sim.Time
-	switch m.disc {
-	case topo.SnoopingBus:
-		period = m.cfg.BusLatency
-	case topo.Modules:
-		// Every window spinner is remote (winStatic) on a topology
-		// whose remote hops share one traversal cost, so one service
-		// period covers the whole rotation.
-		rt, _ := m.topo.RemoteTraversal(m.tm)
-		period = m.cfg.LocalMem + rt
+
+	// Release drains and module-machine storms (whose per-distance-class
+	// schedules need the per-position arrays anyway) go straight to the
+	// general path; the arithmetic fast path below is reserved for the
+	// uniform raw bus rotation. Fixed-backoff spinners force the general
+	// path too (their inline delays need the per-position regime checks).
+	if drain || m.disc == topo.Modules {
+		m.tryWindowSlow(addr, set, tmax, horizonWhen, haveHorizon, drain)
+		return
 	}
+	for i := range set {
+		if m.procs[set[i].Arg0].spin.bo.Base > 0 {
+			m.tryWindowSlow(addr, set, tmax, horizonWhen, haveHorizon, false)
+			return
+		}
+	}
+	period := m.cfg.BusLatency
 	if period <= 0 {
 		return
 	}
-	var free sim.Time
-	if m.disc == topo.SnoopingBus {
-		free = m.busFreeAt
-	} else {
-		free = m.modFreeAt[m.home(addr)]
-	}
+	free := m.busFreeAt
 	if free < tmax {
 		return // cold-start transient: let the per-event path reach saturation
 	}
 
+	// Uniform raw bus rotation — the PR 4 fast path, bit-identical to
+	// the general form but with arithmetic position recovery and no
+	// per-position arrays.
+	//
 	// Assign rotation positions — the (when, seq) pop order at window
 	// start. In a saturated storm the pending completions are exactly
 	// period-spaced (one probe per resource slot), so entry positions
@@ -281,7 +355,7 @@ func (m *Machine) tryWindow(next Addr) {
 		sortSet(set)
 		firstPid = set[0].Arg0
 	}
-	if m.disc == topo.SnoopingBus && m.owner[addr] == int16(firstPid)+1 {
+	if m.owner[addr] == int16(firstPid)+1 {
 		return // first probe would be a cache hit, not a bus transaction
 	}
 
@@ -345,14 +419,250 @@ func (m *Machine) tryWindow(next Addr) {
 		eng.RetimePending(int(set[i].Index), free+sim.Time(jLast)*period, seq0+jLast)
 	}
 	m.mem[addr] = 1
+	m.owner[addr] = int16(last) + 1
+	m.sharers[addr] = uint64(1) << uint(last)
+	m.busFreeAt = free + sim.Time(total)*period
+	m.stats.BusTxns += total
+	m.stats.WindowOps += total
+	eng.FinishWindow(total)
+	m.spinStreak = 0
+}
+
+// tryWindowSlow handles the window shapes beyond the uniform raw bus
+// rotation: per-distance-class (mixed service period) storms, storms
+// containing fixed-backoff spinners, and release/takeover drains. set
+// is the horizon-filtered eligible pending probes (n >= 2, no
+// watchers) with time extent ending at tmax.
+func (m *Machine) tryWindowSlow(addr Addr, set []sim.WindowEvent, tmax sim.Time, horizonWhen sim.Time, haveHorizon bool, drain bool) {
+	// The serializing resource and its free point; the saturation
+	// precondition (free at or past the last pending completion) makes
+	// the cumS schedule exact.
+	mod := 0
+	var free sim.Time
+	if m.disc == topo.SnoopingBus {
+		free = m.busFreeAt
+	} else {
+		mod = m.home(addr)
+		free = m.modFreeAt[mod]
+	}
+	if free < tmax {
+		return // cold-start transient: let the per-event path reach saturation
+	}
+
+	n := len(set)
+	// Rotation positions are the (when, seq) pop order at window
+	// start. Mixed service periods make arithmetic bucketing
+	// impossible — the pending spacing depends on the order being
+	// recovered — so sort unconditionally; the sort IS the tie-break
+	// validation (it reproduces the engine's (when, seq) pop order by
+	// construction).
+	sortSet(set)
+	if m.disc == topo.SnoopingBus && m.owner[addr] == int16(set[0].Arg0)+1 {
+		return // first probe would be a cache hit, not a bus transaction
+	}
+
+	// Per-position schedules and prefix sums: svc[i]/del[i] are the
+	// service time and fixed pre-issue delay of the spinner at rotation
+	// position i (0-based); pre[i] = svc[0]+..+svc[i-1] and bpre[i]
+	// counts the backoff positions among them. cumS(j) is the sum of
+	// the first j services of the cyclic schedule. Service times come
+	// from the spin-entry cache (spinState.winService) — every masked
+	// spinner passed winStatic, which priced its hop once. The scratch
+	// arrays are fully rewritten, not cleared (growSlice).
+	svc := growSlice(m.winSvc, n)
+	del := growSlice(m.winDel, n)
+	pre := growSlice(m.winPre, n+1)
+	bpre := growSlice(m.winBPre, n+1)
+	m.winSvc, m.winDel, m.winPre, m.winBPre = svc, del, pre, bpre
+	pre[0], bpre[0] = 0, 0
+	hasBackoff := false
+	for i := range set {
+		sp := &m.procs[set[i].Arg0].spin
+		s := sp.winService
+		if s <= 0 {
+			return // degenerate zero-cost probe: no serial schedule to batch
+		}
+		svc[i] = s
+		var d sim.Time
+		b := bpre[i]
+		if sp.bo.Base > 0 {
+			d = sp.cur // constant: winStatic admits only Cap <= Base
+			hasBackoff = true
+			b++
+		}
+		del[i] = d
+		pre[i+1] = pre[i] + s
+		bpre[i+1] = b
+	}
+	R := pre[n]
+	nn := uint64(n)
+	cumS := func(j uint64) sim.Time {
+		return sim.Time(j/nn)*R + pre[j%nn]
+	}
+
+	// Pop count. A drain pops each pending probe exactly once: the
+	// first reissue reads the freed word and wins, so the rotation
+	// ends before the winner's next completion at free+cumS(1) — which
+	// fires after every pending pop (free >= tmax). A rotation runs to
+	// the horizon: rescheduled pop n+k fires at free+cumS(k), so count
+	// the k >= 1 with cumS(k) <= horizon-free-1 — whole rotations
+	// contribute n pops per R, the partial one is a prefix-sum scan.
+	eng := m.eng
+	total := nn
+	if !drain {
+		if haveHorizon {
+			if d := horizonWhen - free; d > 0 {
+				dm1 := d - 1
+				q0 := uint64(dm1 / R)
+				rem := dm1 - sim.Time(q0)*R
+				extra := q0 * nn
+				for s := 1; s <= n; s++ {
+					if pre[s] <= rem {
+						extra++
+					}
+				}
+				total = nn + extra
+			}
+			// horizon at or before the free point: only the pending
+			// probes fire.
+		} else {
+			total = math.MaxUint64 // pure storm: the budget caps it
+		}
+	}
+
+	// Budget. Raw pops charge exactly one step each, so capping at the
+	// pop budget reproduces the per-event ErrStepLimit point exactly.
+	// Backoff pops additionally charge their inline delay, so cap the
+	// window such that every in-window charge is known to succeed — a
+	// shorter window is a safe prefix (the per-event path replays the
+	// tail, including any budget trip, identically).
+	if !hasBackoff {
+		if avail := eng.PopBudget(); total > avail {
+			total = avail
+		}
+	} else {
+		avail := eng.ChargeBudget()
+		perRot := nn + bpre[n]
+		if total == math.MaxUint64 || total+(total/nn)*bpre[n]+bpre[total%nn] > avail {
+			q := avail / perRot
+			rem := avail - q*perRot
+			s := uint64(0)
+			for s < nn && s+1+bpre[s+1] <= rem {
+				s++
+			}
+			if j := q*nn + s; j < total {
+				total = j
+			}
+		}
+	}
+	if total < windowMinPops {
+		return
+	}
+
+	if hasBackoff {
+		// A fixed-backoff pop is exact only in the regime where its
+		// delay retires inline (ends strictly before the next event
+		// fires) and its reissue still queues on the busy resource
+		// (judge time + delay within the current rotation, so the cumS
+		// schedule holds). Verify both for every backoff pop; any
+		// violation refuses the whole window and the per-event path
+		// handles the storm exactly (including the regime where the
+		// delay is long enough to schedule as its own event).
+		fire := func(j uint64) sim.Time {
+			if j <= nn {
+				return set[j-1].When
+			}
+			return free + cumS(j-nn)
+		}
+		nxtFinal := fire(total + 1)
+		if haveHorizon && horizonWhen < nxtFinal {
+			nxtFinal = horizonWhen
+		}
+		// Transient pops judge at their recorded completion times.
+		for j := uint64(1); j <= total && j <= nn; j++ {
+			d := del[j-1]
+			if d == 0 {
+				continue
+			}
+			c := set[j-1].When
+			nxt := nxtFinal
+			if j < total {
+				nxt = fire(j + 1)
+			}
+			if c+d >= nxt || c+d > free+cumS(j-1) {
+				return
+			}
+		}
+		if total > nn {
+			// Final rescheduled pop, checked exactly.
+			if d := del[(total-1)%nn]; d > 0 {
+				c := free + cumS(total-nn)
+				if c+d >= nxtFinal || c+d > free+cumS(total-1) {
+					return
+				}
+			}
+			// Steady-state pops reduce to per-position constants: the
+			// delay must end before the next pop fires (d < the next
+			// position's service) and the reissue must stay inside the
+			// current rotation (d <= R - own service).
+			if total > nn+1 {
+				for i := 0; i < n; i++ {
+					d := del[i]
+					if d == 0 {
+						continue
+					}
+					if d >= svc[(i+1)%n] || d > R-svc[i] {
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// Commit. Pop j (1-based) is the probe completion of the spinner
+	// at rotation position (j-1) mod n; its reissue completes at
+	// free+cumS(j) with sequence seq0+j. The same two economies as the
+	// fast path apply (deferred winRMWs, unmaterialized spin.val) —
+	// except a drain's winner, whose zero read is observable: its
+	// value and eligibility bit are materialized, so its retimed
+	// completion judges the win per-event and resumes the program.
+	seq0 := eng.Seq()
+	lastPos := (total - 1) % nn
+	var last int32
+	for i := range set {
+		r := uint64(i) + 1
+		if r > total {
+			continue // capped window: this spinner never pops
+		}
+		if r-1 == lastPos {
+			last = set[i].Arg0
+		}
+		cnt := (total-r)/nn + 1
+		jLast := r + nn*(cnt-1)
+		m.winRMWs[set[i].Arg0] += cnt
+		eng.RetimePending(int(set[i].Index), free+cumS(jLast), seq0+jLast)
+	}
+	if drain {
+		w := m.procs[set[0].Arg0]
+		w.spin.val = 0
+		m.setWinMask(w.id, false)
+	}
+	m.mem[addr] = 1
+	occ := free + cumS(total)
 	if m.disc == topo.SnoopingBus {
 		m.owner[addr] = int16(last) + 1
 		m.sharers[addr] = uint64(1) << uint(last)
-		m.busFreeAt = free + sim.Time(total)*period
+		m.busFreeAt = occ
 		m.stats.BusTxns += total
 	} else {
-		m.modFreeAt[m.home(addr)] = free + sim.Time(total)*period
+		m.modFreeAt[mod] = occ
 		m.stats.RemoteRefs += total
+	}
+	if hasBackoff {
+		// Replay the in-window inline delay charges (budgeted above).
+		b := (total/nn)*bpre[n] + bpre[total%nn]
+		eng.ChargeN(b)
+		m.stats.InlineOps += b
 	}
 	m.stats.WindowOps += total
 	eng.FinishWindow(total)

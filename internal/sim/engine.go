@@ -98,10 +98,13 @@ type Engine struct {
 }
 
 // linearMax is the population above which the queue switches to the
-// heap. Chosen to cover the standard sweeps' machines (one pending
-// event per processor at P <= 32, plus slack) while the 64-processor
-// NUMA cells still get heap behavior.
-const linearMax = 48
+// heap. Measured on the contended P=32 storm cells (PR 6): the heap's
+// O(log n) pops beat the linear rescan from the mid-teens up — raising
+// this to 32 or 48 costs the per-event cluster path 10-20% — while tiny
+// populations (a handful of workers trading one lock) still pop faster
+// out of the flat array. 16 keeps the small-machine cells linear and
+// hands every contended storm to the heap.
+const linearMax = 16
 
 // DefaultMaxSteps bounds runaway simulations. Each simulated memory
 // operation is roughly one event, so this allows on the order of 10^8

@@ -47,10 +47,10 @@ type idealTopo struct{ flat }
 func (idealTopo) Name() string                               { return "ideal" }
 func (idealTopo) String() string                             { return "ideal" }
 func (idealTopo) Discipline() Discipline                     { return Uniform }
-func (idealTopo) Traversal(p, mod int, tm Timing) sim.Time   { return 0 }
-func (idealTopo) Remote(p, mod int) bool                     { return false }
-func (idealTopo) RemoteTraversal(tm Timing) (sim.Time, bool) { return 0, false }
-func (idealTopo) Traffic() TrafficKind                       { return TrafficOps }
+func (idealTopo) Traversal(p, mod int, tm Timing) sim.Time      { return 0 }
+func (idealTopo) Remote(p, mod int) bool                        { return false }
+func (idealTopo) TraversalClasses(tm Timing) ([]sim.Time, bool) { return nil, false }
+func (idealTopo) Traffic() TrafficKind                          { return TrafficOps }
 
 // ---------------------------------------------------------------------
 // bus
@@ -69,10 +69,13 @@ func (busTopo) Discipline() Discipline { return SnoopingBus }
 // topology property, visible to validation and CLIs.)
 func (busTopo) MaxProcs() int { return 64 }
 
-func (busTopo) Traversal(p, mod int, tm Timing) sim.Time   { return 0 }
-func (busTopo) Remote(p, mod int) bool                     { return false }
-func (busTopo) RemoteTraversal(tm Timing) (sim.Time, bool) { return 0, false }
-func (busTopo) Traffic() TrafficKind                       { return TrafficBusTxns }
+// TraversalClasses: the bus machine has no module traversals at all —
+// probe serialization happens on the bus itself, which the machine
+// prices directly (spin windows on SnoopingBus never consult this).
+func (busTopo) Traversal(p, mod int, tm Timing) sim.Time      { return 0 }
+func (busTopo) Remote(p, mod int) bool                        { return false }
+func (busTopo) TraversalClasses(tm Timing) ([]sim.Time, bool) { return nil, false }
+func (busTopo) Traffic() TrafficKind                          { return TrafficBusTxns }
 
 // ---------------------------------------------------------------------
 // numa
@@ -93,9 +96,11 @@ func (numaTopo) Traversal(p, mod int, tm Timing) sim.Time {
 
 func (numaTopo) Remote(p, mod int) bool { return mod != p }
 
-// RemoteTraversal: every remote hop costs RemoteMem, so flat NUMA
-// storms are spin-window eligible.
-func (numaTopo) RemoteTraversal(tm Timing) (sim.Time, bool) { return tm.RemoteMem, true }
+// TraversalClasses: every remote hop costs RemoteMem — one distance
+// class, so flat NUMA storms rotate with a single uniform probe period.
+func (numaTopo) TraversalClasses(tm Timing) ([]sim.Time, bool) {
+	return []sim.Time{tm.RemoteMem}, true
+}
 
 func (numaTopo) Traffic() TrafficKind { return TrafficRemoteRefs }
 
@@ -160,9 +165,13 @@ func (c clusterTopo) PollSpacing(p, mod int, tm Timing) sim.Time {
 	return 2 * tm.PollInterval
 }
 
-// RemoteTraversal: hop costs are distance-dependent, so no uniform
-// probe period exists and cluster storms are spin-window ineligible —
-// they replay per-event (still exact, just not fast-forwarded).
-func (c clusterTopo) RemoteTraversal(tm Timing) (sim.Time, bool) { return 0, false }
+// TraversalClasses: two distance classes — the short intra-cluster hop
+// and the double-cost inter-cluster traversal. Declaring them makes
+// cluster storms spin-window eligible: the home port still serializes
+// every probe, so the mixed-period rotation is computable in closed
+// form (internal/machine/window.go).
+func (c clusterTopo) TraversalClasses(tm Timing) ([]sim.Time, bool) {
+	return []sim.Time{tm.RemoteMem / 3, 2 * tm.RemoteMem}, true
+}
 
 func (c clusterTopo) Traffic() TrafficKind { return TrafficRemoteRefs }

@@ -118,13 +118,18 @@ type Topology interface {
 	// spins on a remote word homed at mod (jitter is added by the
 	// machine on top).
 	PollSpacing(p, mod int, tm Timing) sim.Time
-	// RemoteTraversal reports the uniform remote traversal cost when
-	// every remote hop in the topology costs the same, which is the
-	// precondition for cross-processor spin-window batching on a
-	// Modules machine: a raw test&set storm is a strict rotation only
-	// if every spinner shares one probe period. Non-uniform topologies
-	// return ok=false and their storms replay per-event.
-	RemoteTraversal(tm Timing) (cost sim.Time, ok bool)
+	// TraversalClasses enumerates the closed set of distinct remote
+	// traversal costs a processor can pay to reach another processor's
+	// module — the topology's distance classes. Declaring the set (ok
+	// true) is the precondition for cross-processor spin-window
+	// batching on a Modules machine: a test&set storm serializes on the
+	// probed word's home port, so per-spinner probe periods drawn from
+	// a small closed set still form a computable rotation (the machine
+	// prices each spinner's hop individually via Traversal; the
+	// declaration promises those prices are storm-stable). Topologies
+	// whose hop costs are unbounded or state-dependent return ok=false
+	// and their storms replay per-event.
+	TraversalClasses(tm Timing) (classes []sim.Time, ok bool)
 	// Traffic names the headline interconnect metric.
 	Traffic() TrafficKind
 }

@@ -52,8 +52,14 @@ func TestCanonicalShapes(t *testing.T) {
 	if NUMA.Remote(3, 3) || !NUMA.Remote(3, 5) {
 		t.Error("numa remote classification wrong")
 	}
-	if cost, ok := NUMA.RemoteTraversal(testTiming); !ok || cost != testTiming.RemoteMem {
-		t.Errorf("numa RemoteTraversal = (%d, %v)", cost, ok)
+	if classes, ok := NUMA.TraversalClasses(testTiming); !ok || len(classes) != 1 || classes[0] != testTiming.RemoteMem {
+		t.Errorf("numa TraversalClasses = (%v, %v)", classes, ok)
+	}
+	if _, ok := Ideal.TraversalClasses(testTiming); ok {
+		t.Error("ideal declares traversal classes")
+	}
+	if _, ok := Bus.TraversalClasses(testTiming); ok {
+		t.Error("bus declares traversal classes")
 	}
 	// Flat topologies: one module per processor, interleaved shared
 	// heap, per-processor groups.
@@ -107,9 +113,31 @@ func TestClusterShape(t *testing.T) {
 	if sp := c.PollSpacing(1, 12, testTiming); sp != 2*testTiming.PollInterval {
 		t.Errorf("inter-cluster poll spacing = %d", sp)
 	}
-	// Non-uniform hop costs: spin-window ineligible.
-	if _, ok := c.RemoteTraversal(testTiming); ok {
-		t.Error("cluster claims a uniform remote traversal")
+	// Two declared distance classes: intra- and inter-cluster hops.
+	// Every Traversal cost a remote access can pay must be one of them —
+	// the spin-window batcher's per-class rotation depends on it.
+	classes, ok := c.TraversalClasses(testTiming)
+	if !ok || len(classes) != 2 ||
+		classes[0] != testTiming.RemoteMem/3 || classes[1] != 2*testTiming.RemoteMem {
+		t.Errorf("cluster TraversalClasses = (%v, %v)", classes, ok)
+	}
+	inClasses := func(d sim.Time) bool {
+		for _, cl := range classes {
+			if cl == d {
+				return true
+			}
+		}
+		return false
+	}
+	for p := 0; p < 16; p++ {
+		for mod := 0; mod < 16; mod++ {
+			if p == mod {
+				continue
+			}
+			if d := c.Traversal(p, mod, testTiming); !inClasses(d) {
+				t.Errorf("Traversal(%d,%d) = %d not in declared classes %v", p, mod, d, classes)
+			}
+		}
 	}
 }
 
