@@ -1,0 +1,200 @@
+// Package fault describes deterministic fault plans for the simulated
+// machine: processor stalls (preemption windows), permanent processor
+// crashes, and transient memory-module degradation intervals.
+//
+// A Plan is pure data. It draws nothing at simulation time — a plan is
+// either built explicitly (NewPlan().WithStall(...)...) or generated
+// up front by Generate from a seed on its own RNG stream, independent
+// of every algorithm and machine stream. The same plan attached to the
+// same machine.Config therefore yields bit-identical runs, and the
+// machine's spin-window A/B invariant (windows on/off produce the same
+// Stats) holds under any plan.
+//
+// Entries that do not apply to a given machine — a processor index at
+// or above Procs, a module index at or above the topology's module
+// count, an empty interval (End <= Start), or a degrade factor <= 1 —
+// are inert: the machine skips them when it compiles the plan, so one
+// plan can be reused across machine sizes.
+package fault
+
+import "repro/internal/sim"
+
+// Stall suspends event delivery to one processor for [Start, End):
+// every dispatch or spin event addressed to the processor inside the
+// window is retimed to End. It models an OS preemption of the thread
+// pinned to that processor — memory the processor holds stays held,
+// in-flight operations complete, but it makes no forward progress
+// until the window closes.
+type Stall struct {
+	Proc       int
+	Start, End sim.Time
+}
+
+// Crash permanently removes a processor at time At. Its pending events
+// are dropped, it never runs again, and any words it holds are never
+// released — the survivors' behavior under that loss is the point.
+type Crash struct {
+	Proc int
+	At   sim.Time
+}
+
+// Degrade scales one memory module's traversal cost by Factor for
+// [Start, End): a slow link, a contended router port, a thermal
+// throttle. Only the network-traversal term is scaled, and only on
+// module-based (Modules discipline) topologies; local references and
+// bus machines are unaffected.
+type Degrade struct {
+	Module     int
+	Start, End sim.Time
+	Factor     int
+}
+
+// Plan is an immutable fault schedule. Build one with NewPlan and the
+// With* methods (which mutate and return the same plan, builder
+// style), or draw one with Generate. Attach it via
+// machine.Config.Faults; the machine treats the entry slices as
+// read-only, so a plan may be shared across machines and runs.
+type Plan struct {
+	name     string
+	stalls   []Stall
+	crashes  []Crash
+	degrades []Degrade
+}
+
+// NewPlan returns an empty named plan.
+func NewPlan(name string) *Plan { return &Plan{name: name} }
+
+// WithStall appends a stall window.
+func (p *Plan) WithStall(proc int, start, end sim.Time) *Plan {
+	p.stalls = append(p.stalls, Stall{Proc: proc, Start: start, End: end})
+	return p
+}
+
+// WithCrash appends a permanent processor crash.
+func (p *Plan) WithCrash(proc int, at sim.Time) *Plan {
+	p.crashes = append(p.crashes, Crash{Proc: proc, At: at})
+	return p
+}
+
+// WithDegrade appends a module degradation interval.
+func (p *Plan) WithDegrade(module int, start, end sim.Time, factor int) *Plan {
+	p.degrades = append(p.degrades, Degrade{Module: module, Start: start, End: end, Factor: factor})
+	return p
+}
+
+// Name returns the plan's label (used in experiment tables and test
+// names).
+func (p *Plan) Name() string {
+	if p == nil {
+		return "none"
+	}
+	return p.name
+}
+
+// Empty reports whether the plan schedules no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.stalls) == 0 && len(p.crashes) == 0 && len(p.degrades) == 0)
+}
+
+// Stalls returns the stall entries. Callers must not mutate.
+func (p *Plan) Stalls() []Stall { return p.stalls }
+
+// Crashes returns the crash entries. Callers must not mutate.
+func (p *Plan) Crashes() []Crash { return p.crashes }
+
+// Degrades returns the degrade entries. Callers must not mutate.
+func (p *Plan) Degrades() []Degrade { return p.degrades }
+
+// Spec sizes a generated plan. Zero counts mean none of that fault
+// kind; zero interval bounds fall back to sensible defaults relative
+// to Horizon.
+type Spec struct {
+	// Procs and Modules bound the indices drawn; both must be > 0 for
+	// the corresponding fault kinds to be drawn.
+	Procs   int
+	Modules int
+	// Horizon is the time span faults are drawn in: starts land in
+	// [0, Horizon).
+	Horizon sim.Time
+
+	// Stalls is the number of stall windows to draw; their lengths are
+	// uniform in [StallMin, StallMax] (defaults Horizon/50, Horizon/10).
+	Stalls   int
+	StallMin sim.Time
+	StallMax sim.Time
+
+	// Crashes is the number of distinct processors to crash. It is
+	// clamped to Procs-1 so at least one processor survives.
+	Crashes int
+
+	// Degrades is the number of module-degradation intervals; their
+	// lengths are uniform in [DegradeMin, DegradeMax] (same defaults as
+	// stalls) and factors uniform in [2, FactorMax] (default 8).
+	Degrades   int
+	DegradeMin sim.Time
+	DegradeMax sim.Time
+	FactorMax  int
+}
+
+// Generate draws a plan from its own splitmix64 stream seeded by seed.
+// The stream is private to the plan: generating a plan consumes no
+// draws from any machine or processor RNG, so adding faults to a
+// config perturbs nothing else about the run.
+func Generate(name string, seed uint64, sp Spec) *Plan {
+	p := NewPlan(name)
+	rng := sim.NewRNG(seed)
+	horizon := sp.Horizon
+	if horizon <= 0 {
+		horizon = 1 << 20
+	}
+	spanIn := func(min, max sim.Time, defMin, defMax sim.Time) sim.Time {
+		if min <= 0 {
+			min = defMin
+		}
+		if max < min {
+			max = defMax
+		}
+		if max < min {
+			max = min
+		}
+		return min + rng.Time(max-min+1)
+	}
+	defMin, defMax := horizon/50+1, horizon/10+1
+
+	if sp.Procs > 0 {
+		for i := 0; i < sp.Stalls; i++ {
+			proc := rng.Intn(sp.Procs)
+			start := rng.Time(horizon)
+			length := spanIn(sp.StallMin, sp.StallMax, defMin, defMax)
+			p.WithStall(proc, start, start+length)
+		}
+		crashes := sp.Crashes
+		if crashes > sp.Procs-1 {
+			crashes = sp.Procs - 1
+		}
+		// Distinct victims: rejection-sample over the small index space.
+		crashed := make(map[int]bool, crashes)
+		for len(crashed) < crashes {
+			proc := rng.Intn(sp.Procs)
+			if crashed[proc] {
+				continue
+			}
+			crashed[proc] = true
+			p.WithCrash(proc, rng.Time(horizon))
+		}
+	}
+	if sp.Modules > 0 {
+		factorMax := sp.FactorMax
+		if factorMax < 2 {
+			factorMax = 8
+		}
+		for i := 0; i < sp.Degrades; i++ {
+			mod := rng.Intn(sp.Modules)
+			start := rng.Time(horizon)
+			length := spanIn(sp.DegradeMin, sp.DegradeMax, defMin, defMax)
+			factor := 2 + rng.Intn(factorMax-1)
+			p.WithDegrade(mod, start, start+length, factor)
+		}
+	}
+	return p
+}

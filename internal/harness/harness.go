@@ -87,6 +87,7 @@ func Registry() []Experiment {
 		{IDs: []string{"A1"}, Title: "Ablation: machine timing-parameter sensitivity", Run: runA1},
 		{IDs: []string{"X1", "X2"}, Title: "Lock sweep with machine topology as the matrix axis", Run: runTopoAxis},
 		{IDs: []string{"SC1", "SC2"}, Title: "Scaling-law sweep: contended tas storm vs processor count across topologies", Run: runScalingSweep},
+		{IDs: []string{"FT1", "FT2"}, Title: "Resilience under deterministic fault injection: outcomes and throughput vs fault level", Run: runFaultSweep},
 		{IDs: []string{"L1-cluster", "L2-cluster", "B1-cluster", "R1-cluster", "S1-cluster", "C1-cluster"},
 			Title: "Full simulated battery per topology (default: every non-canonical registered topology; -topo selects)", Run: runTopoBattery},
 	}

@@ -28,6 +28,18 @@ var errSkipCell = errors.New("harness: cell skipped (axis point above topology c
 // skippedCell marks a skipped cell in rendered tables and CSVs.
 const skippedCell = "-"
 
+// failedCell renders a cell whose measurement panicked: a bang plus the
+// truncated panic reason, so the table both flags the failure and gives
+// enough of the message to find it.
+func failedCell(reason string) string {
+	reason = strings.Join(strings.Fields(reason), " ")
+	const max = 24
+	if len(reason) > max {
+		reason = reason[:max-1] + "…"
+	}
+	return "!" + reason
+}
+
 // This file is the backend-agnostic sweep engine shared by every
 // per-family experiment file (sweep_locks.go, sweep_barriers.go,
 // sweep_rw.go, sweep_sem.go, sweep_misc.go): algorithm selection comes
@@ -117,16 +129,36 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 	}
 
 	// results[ai][aj] holds one value per metric; cells are independent
-	// and written by at most one goroutine each.
+	// and written by at most one goroutine each. failures[ai][aj] holds
+	// the panic reason for a cell whose measurement panicked: one broken
+	// algorithm marks its own cells failed and the rest of the battery
+	// still runs (ordinary measurement *errors* stay fatal — they mean
+	// the sweep itself is wrong, not one cell).
 	results := make([][][]float64, len(axis))
+	failures := make([][]string, len(axis))
 	for ai := range results {
 		results[ai] = make([][]float64, len(algos))
+		failures[ai] = make([]string, len(algos))
+	}
+	measureSafe := func(ai int, algo A, pool *machine.Pool) (vals []float64, panicked string, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				vals, err = nil, nil
+				panicked = fmt.Sprintf("%v", r)
+			}
+		}()
+		vals, err = measure(ai, algo, pool)
+		return
 	}
 	err := forEachCell(parallel, len(axis)*len(algos), func(cell int, pool *machine.Pool) error {
 		// Axis-major assignment keeps the single-worker order identical
 		// to the historical sequential sweep.
 		ai, aj := cell/len(algos), cell%len(algos)
-		vals, merr := measure(ai, algos[aj], pool)
+		vals, panicked, merr := measureSafe(ai, algos[aj], pool)
+		if panicked != "" {
+			failures[ai][aj] = panicked
+			return nil
+		}
 		if merr != nil {
 			if errors.Is(merr, errSkipCell) {
 				return nil // leave the slot nil; rendered as skippedCell
@@ -147,9 +179,12 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 		}
 		for aj := range algos {
 			for mi := range metrics {
-				if results[ai][aj] == nil {
+				switch {
+				case failures[ai][aj] != "":
+					rows[mi] = append(rows[mi], failedCell(failures[ai][aj]))
+				case results[ai][aj] == nil:
 					rows[mi] = append(rows[mi], skippedCell)
-				} else {
+				default:
 					rows[mi] = append(rows[mi], Fmt(results[ai][aj][mi]))
 				}
 			}
@@ -173,7 +208,22 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 // worker's cells reuse one simulated machine (reset per cell) instead
 // of allocating megabytes of simulated memory each. Pools are
 // per-worker precisely because they are not concurrency-safe.
+//
+// A panic escaping fn is recovered and returned as that cell's error: a
+// panic on a bare worker goroutine would kill the whole process, and no
+// single sweep cell is worth the battery. (runMatrix recovers measure
+// panics one level earlier and downgrades them to failed *cells*; this
+// recovery is the backstop for direct forEachCell callers and for
+// panics outside the measure call.)
 func forEachCell(parallel bool, total int, fn func(i int, pool *machine.Pool) error) error {
+	call := func(i int, pool *machine.Pool) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("harness: sweep cell %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i, pool)
+	}
 	var (
 		firstErr error
 		errMu    sync.Mutex
@@ -197,7 +247,7 @@ func forEachCell(parallel bool, total int, fn func(i int, pool *machine.Pool) er
 	if workers <= 1 {
 		pool := new(machine.Pool)
 		for i := 0; i < total; i++ {
-			if err := fn(i, pool); err != nil {
+			if err := call(i, pool); err != nil {
 				return err
 			}
 		}
@@ -217,7 +267,7 @@ func forEachCell(parallel bool, total int, fn func(i int, pool *machine.Pool) er
 				if cell >= total {
 					return
 				}
-				if err := fn(cell, pool); err != nil {
+				if err := call(cell, pool); err != nil {
 					record(err)
 					return
 				}

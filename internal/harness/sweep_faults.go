@@ -1,0 +1,177 @@
+package harness
+
+// FT1 + FT2 — graceful degradation under deterministic fault injection.
+//
+// Each row fixes a (topology, fault level) pair; each column is one
+// lock discipline driven through the same fault plan. FT1 reports how
+// the run ended (ok / steplimit / deadlock) together with the fraction
+// of the offered work that completed; FT2 reports throughput. Degraded
+// outcomes are data: a blocking lock wedged behind a crashed holder is
+// the baseline the bounded and lease disciplines are measured against,
+// so an ErrStepLimit cell renders as a row entry, never as a sweep
+// failure. Every plan is generated from the sweep seed, so the whole
+// matrix is bit-reproducible.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/simsync"
+	"repro/internal/topo"
+)
+
+// faultLevel describes one intensity step of the injected fault load.
+type faultLevel struct {
+	name string
+	spec func(procs int) fault.Spec // zero Spec plus empty=true means no faults
+	none bool
+}
+
+// faultLevels is the fault-intensity axis. Level 0 is the fault-free
+// baseline; stalls and degradations arrive first, crashes last, so the
+// table reads as a monotone stress ramp. The plan horizon is sized to
+// the offered work (not to some fixed constant) so the generated fault
+// times actually land inside the run: a crash scheduled after the last
+// release would test nothing.
+func (o Options) faultLevels() []faultLevel {
+	mk := func(stalls, crashes, degrades, factorMax int) func(int) fault.Spec {
+		return func(procs int) fault.Spec {
+			horizon := sim.Time(o.lockIters()) * sim.Time(procs) * 30
+			return fault.Spec{
+				Procs:   procs,
+				Modules: procs,
+				Horizon: horizon,
+				Stalls:  stalls, StallMin: 500, StallMax: 2000,
+				Crashes:  crashes,
+				Degrades: degrades, DegradeMin: 2000, DegradeMax: 8000,
+				FactorMax: factorMax,
+			}
+		}
+	}
+	all := []faultLevel{
+		{name: "L0", none: true},
+		{name: "L1", spec: mk(4, 0, 2, 4)},
+		{name: "L2", spec: mk(4, 1, 2, 4)},
+		{name: "L3", spec: mk(8, 2, 4, 8)},
+	}
+	if o.Quick {
+		return []faultLevel{all[0], all[2]}
+	}
+	return all
+}
+
+// faultLocks is the FT column set: the blocking baselines (tas, tas-bo,
+// qsync), the bounded-wait lock (driven through AcquireWithin), and a
+// lease lock whose term is long enough that no stall can outlive it —
+// only a crash triggers takeover, so its mutual-exclusion check stays
+// exact under every level.
+func faultLocks() []simsync.LockInfo {
+	td, _ := simsync.LockByName("tas-deadline")
+	infos := []simsync.LockInfo{}
+	for _, n := range []string{"tas", "tas-bo"} {
+		li, _ := simsync.LockByName(n)
+		infos = append(infos, li)
+	}
+	infos = append(infos, td,
+		simsync.LockInfo{Name: "lease-ft", Make: func(m *machine.Machine) simsync.Lock {
+			// Term 16000 >> StallMax + CS residence: a stalled live
+			// holder always finishes inside its lease; a crashed one
+			// expires and is taken over.
+			return simsync.NewLeaseTerm(m, 16000, 64)
+		}})
+	qs, _ := simsync.LockByName("qsync")
+	return append(infos, qs)
+}
+
+func runFaultSweep(o Options) ([]Table, error) {
+	procs := 16
+	maxSteps := uint64(2_000_000)
+	iters := o.lockIters()
+	if o.Quick {
+		procs = 8
+		maxSteps = 300_000
+	}
+	topos := o.axisTopos()
+	levels := o.faultLevels()
+	infos := faultLocks()
+
+	type rowKey struct {
+		tp    topo.Topology
+		level faultLevel
+		plan  *fault.Plan
+	}
+	var rows []rowKey
+	for ti, tp := range topos {
+		for li, lv := range levels {
+			plan := fault.NewPlan(lv.name)
+			if !lv.none {
+				// One plan per row, shared by every lock column, so the
+				// columns are hit by the same stalls/crashes/degrades.
+				seed := o.seed()*1000 + uint64(ti)*16 + uint64(li)
+				plan = fault.Generate(fmt.Sprintf("%s/%s", tp.Name(), lv.name), seed, lv.spec(procs))
+			}
+			rows = append(rows, rowKey{tp: tp, level: lv, plan: plan})
+		}
+	}
+
+	results := make([][]simsync.FaultLockResult, len(rows))
+	for i := range results {
+		results[i] = make([]simsync.FaultLockResult, len(infos))
+	}
+	err := forEachCell(true, len(rows)*len(infos), func(cell int, pool *machine.Pool) error {
+		ri, ci := cell/len(infos), cell%len(infos)
+		row := rows[ri]
+		res, rerr := simsync.RunLockFaulted(pool,
+			machine.Config{Procs: procs, Topo: row.tp, Seed: o.seed()},
+			infos[ci], row.plan, simsync.FaultLockOpts{
+				Iters: iters, CS: 25, Think: 50,
+				Budget:   4096, // bounded locks give up a slice after this
+				MaxSteps: maxSteps,
+			})
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  %s %s %s: %s, %d/%d acq, %d timeouts, %d crashed\n",
+			row.tp.Name(), row.level.name, res.Lock, res.Outcome,
+			res.Acquisitions, uint64(iters)*uint64(procs), res.Timeouts, res.Crashed)
+		results[ri][ci] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cols := []string{"topo/level"}
+	for _, li := range infos {
+		cols = append(cols, li.Name)
+	}
+	ft1 := Table{
+		ID:    "FT1",
+		Title: fmt.Sprintf("Run outcome and completed fraction under fault injection at P=%d", procs),
+		Note:  "outcome + % of offered acquisitions completed; blocking locks wedge (steplimit/deadlock) once a crash lands, bounded and lease locks stay ok with partial completion",
+		Cols:  cols,
+	}
+	ft2 := Table{
+		ID:    "FT2",
+		Title: fmt.Sprintf("Lock throughput (acquisitions per kilocycle) under fault injection at P=%d", procs),
+		Note:  "same matrix as FT1; wedged cells report throughput up to the cutoff, so they understate only as much as the wedge itself does",
+		Cols:  cols,
+	}
+	offered := uint64(iters) * uint64(procs)
+	for ri, row := range rows {
+		label := row.tp.Name() + "/" + row.level.name
+		r1 := []string{label}
+		r2 := []string{label}
+		for ci := range infos {
+			res := results[ri][ci]
+			pct := 100 * float64(res.Acquisitions) / float64(offered)
+			r1 = append(r1, fmt.Sprintf("%s %.0f%%", res.Outcome, pct))
+			r2 = append(r2, Fmt(res.AcqPerKCycle))
+		}
+		ft1.Rows = append(ft1.Rows, r1)
+		ft2.Rows = append(ft2.Rows, r2)
+	}
+	return []Table{ft1, ft2}, nil
+}

@@ -1,0 +1,210 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// This file compiles a fault.Plan against one machine shape and answers
+// the drive loop's fault queries. The design constraints, in order:
+//
+//   - Nil-plan invariance: with Config.Faults unset, no fault code runs
+//     at all — every query site guards on m.flt != nil — so fault-free
+//     runs are bit-identical to pre-fault builds, allocation for
+//     allocation.
+//   - Determinism: the compiled tables are pure data derived from the
+//     plan; the drive loop consults them at event-delivery time only,
+//     so the same plan on the same config yields bit-identical runs.
+//   - Window exactness: spin windows refuse to form while any fault
+//     interval is active and clamp their horizon to the next fault
+//     boundary (window.go), so no closed-form pop can ever straddle a
+//     point where fault state changes. The windows on/off A/B
+//     invariant therefore survives every plan.
+//
+// Fault semantics implemented here and in the drive loop:
+//
+//   - Stall [start, end) of processor p: every dispatch or spin event
+//     addressed to p inside the window is retimed to end (one extra
+//     engine event per deferred delivery, identical in the windowed and
+//     per-event executions). Inline run-ahead is not preempted — a
+//     stall suspends event delivery, the model's stand-in for the OS
+//     descheduling the thread between observable memory operations.
+//   - Crash of processor p at time t: an EvFault event scheduled at t
+//     (before any program event, so it carries the smallest sequence
+//     number at its instant) marks p crashed; p's pending events are
+//     dropped on delivery and its goroutine unwinds at teardown. The
+//     pending EvFault also bounds every processor's inline lookahead,
+//     so no operation of p completes at or after t — words p holds at
+//     the crash stay held forever, which is the behavior the robust
+//     primitives are measured against.
+//   - Degrade [start, end) of module m by factor f: the network
+//     traversal term of every access serviced by m and issued in the
+//     window is scaled by f (module topologies only; the local-memory
+//     term and bus machines are unaffected). Pricing is decided at
+//     issue time, matching the occupancy model.
+
+// faultSpan is one compiled interval, [start, end).
+type faultSpan struct {
+	start, end sim.Time
+	factor     int // degrade factor; unused for stalls
+}
+
+// machineFaults is the compiled plan. Entry lists are tiny (a handful
+// of faults per run), so point queries scan linearly; only nextBound,
+// consulted per window attempt, binary-searches.
+type machineFaults struct {
+	stalls   [][]faultSpan // per processor: sorted, merged, disjoint
+	crashAt  []sim.Time    // per processor: earliest crash instant, or -1
+	degrades [][]faultSpan // per module: sorted by start (largest covering factor wins)
+	active   []faultSpan   // union of all stall+degrade intervals, merged
+	bounds   []sim.Time    // sorted, deduped: every interval endpoint and crash instant
+}
+
+// compileFaults builds the per-machine tables. Entries that do not
+// apply to this shape — indices out of range, empty intervals,
+// factors <= 1, negative times — are skipped, so one plan is portable
+// across machine sizes.
+func compileFaults(p *fault.Plan, procs, modules int) *machineFaults {
+	f := &machineFaults{
+		stalls:   make([][]faultSpan, procs),
+		crashAt:  make([]sim.Time, procs),
+		degrades: make([][]faultSpan, modules),
+	}
+	for i := range f.crashAt {
+		f.crashAt[i] = -1
+	}
+	var raw []faultSpan
+	var bounds []sim.Time
+	for _, s := range p.Stalls() {
+		if s.Proc < 0 || s.Proc >= procs || s.Start < 0 || s.End <= s.Start {
+			continue
+		}
+		f.stalls[s.Proc] = append(f.stalls[s.Proc], faultSpan{start: s.Start, end: s.End})
+		raw = append(raw, faultSpan{start: s.Start, end: s.End})
+		bounds = append(bounds, s.Start, s.End)
+	}
+	for _, c := range p.Crashes() {
+		if c.Proc < 0 || c.Proc >= procs || c.At < 0 {
+			continue
+		}
+		if f.crashAt[c.Proc] < 0 || c.At < f.crashAt[c.Proc] {
+			f.crashAt[c.Proc] = c.At
+		}
+		bounds = append(bounds, c.At)
+	}
+	for _, d := range p.Degrades() {
+		if d.Module < 0 || d.Module >= modules || d.Start < 0 || d.End <= d.Start || d.Factor <= 1 {
+			continue
+		}
+		f.degrades[d.Module] = append(f.degrades[d.Module], faultSpan{start: d.Start, end: d.End, factor: d.Factor})
+		raw = append(raw, faultSpan{start: d.Start, end: d.End})
+		bounds = append(bounds, d.Start, d.End)
+	}
+	for i := range f.stalls {
+		f.stalls[i] = mergeSpans(f.stalls[i])
+	}
+	for i := range f.degrades {
+		sort.Slice(f.degrades[i], func(a, b int) bool {
+			return f.degrades[i][a].start < f.degrades[i][b].start
+		})
+	}
+	f.active = mergeSpans(raw)
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	for _, b := range bounds {
+		if n := len(f.bounds); n == 0 || f.bounds[n-1] != b {
+			f.bounds = append(f.bounds, b)
+		}
+	}
+	if len(f.bounds) == 0 {
+		// Every entry was inert for this shape: compile to "no faults"
+		// so the run takes the nil-plan path exactly (no EvFault
+		// scheduling, no window gating, no per-delivery checks).
+		return nil
+	}
+	return f
+}
+
+// mergeSpans sorts spans by start and merges overlapping or adjacent
+// ones. Merged lists are disjoint with gaps between consecutive spans,
+// which is what guarantees a deferred delivery at a span's end is not
+// immediately deferred again.
+func mergeSpans(spans []faultSpan) []faultSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		if last := &out[len(out)-1]; s.start <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// stallEnd returns the end of the stall interval covering processor pid
+// at time t, or t itself when pid is not stalled then.
+func (f *machineFaults) stallEnd(pid int, t sim.Time) sim.Time {
+	for _, s := range f.stalls[pid] {
+		if s.start > t {
+			break
+		}
+		if t < s.end {
+			return s.end
+		}
+	}
+	return t
+}
+
+// degradeFactor returns the traversal scale factor for module mod at
+// time t (1 when undegraded; overlapping intervals take the largest).
+func (f *machineFaults) degradeFactor(mod int, t sim.Time) int {
+	factor := 1
+	for _, d := range f.degrades[mod] {
+		if d.start > t {
+			break
+		}
+		if t < d.end && d.factor > factor {
+			factor = d.factor
+		}
+	}
+	return factor
+}
+
+// activeAt reports whether any stall or degrade interval covers t —
+// the conservative "some fault state is in effect" gate spin windows
+// check before forming.
+func (f *machineFaults) activeAt(t sim.Time) bool {
+	for _, s := range f.active {
+		if s.start > t {
+			return false
+		}
+		if t < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// nextBound returns the earliest fault boundary — interval start or
+// end, or crash instant — strictly after t. Spin windows and inline
+// probe batches clamp their extent to it, so no closed form straddles
+// a change of fault state.
+func (f *machineFaults) nextBound(t sim.Time) (sim.Time, bool) {
+	i := sort.Search(len(f.bounds), func(i int) bool { return f.bounds[i] > t })
+	if i == len(f.bounds) {
+		return 0, false
+	}
+	return f.bounds[i], true
+}
+
+// Crashed reports whether processor i has crashed in the current run.
+// Host-side harness code uses it to tell a dead lock holder from a
+// mutual-exclusion violation.
+func (m *Machine) Crashed(i int) bool { return m.procs[i].crashed }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// topo.PlaceGroup, which degenerates to per-processor local
 	// placement on flat topologies.
 	Placement topo.Placement
+
+	// Faults attaches a deterministic fault plan (processor stalls,
+	// permanent crashes, module degradation; see internal/fault and
+	// fault.go in this package). Nil means a fault-free machine with
+	// behavior bit-identical to builds predating fault support. The
+	// plan is treated as read-only and may be shared across machines.
+	Faults *fault.Plan
 }
 
 // Defaults fills in zero fields and returns the completed config.
@@ -243,6 +251,11 @@ type Machine struct {
 	procs []*Proc
 	live  int
 
+	// flt is the compiled fault plan (fault.go), nil on fault-free
+	// machines — every fault query site guards on that nil, so the
+	// fault-free hot path is untouched.
+	flt *machineFaults
+
 	// Cross-processor spin-window batching state (window.go):
 	// spinStreak governs the attempt trigger (negative while backing
 	// off after a failed attempt); winMask holds one eligibility bit
@@ -351,11 +364,19 @@ func (m *Machine) Reset(cfg Config) error {
 		p.watchNext = 0
 		p.spin = spinState{}
 		p.finished = false
+		p.crashed = false
 		p.blockedOn = ""
 		p.blockedAddr = 0
 		p.stats = ProcStats{}
 	}
 	m.live = 0
+
+	m.flt = nil
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		// Compiling per Reset keeps the plan portable across machine
+		// shapes; the compile allocates, but only faulted configs pay it.
+		m.flt = compileFaults(cfg.Faults, cfg.Procs, m.topo.Modules(cfg.Procs))
+	}
 
 	m.nextShared = 0
 	m.nextLocal = resetSlice(m.nextLocal, cfg.Procs)
@@ -553,6 +574,19 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 	m.ran = true
 	m.live = m.cfg.Procs
 
+	// Crash events go in before any program event: at their instant
+	// they carry the smallest sequence numbers, so a crash at time t
+	// materializes before anything else scheduled at t — including the
+	// t=0 start dispatches — and, while pending, bounds every
+	// processor's inline lookahead at t.
+	if m.flt != nil {
+		for pid, at := range m.flt.crashAt {
+			if at >= 0 {
+				m.eng.AtEvent(at, sim.EvFault, int32(pid), 0)
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for i, p := range m.procs {
 		wg.Add(1)
@@ -623,6 +657,16 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 // exit, while a live p parks for teardown.
 func (m *Machine) drive(p *Proc) {
 	for {
+		if m.live == 0 {
+			// Nothing left that can run: every processor finished or
+			// crashed. Don't drain the stale remainder of the queue —
+			// popping a crash or deferred wakeup scheduled beyond the
+			// last real event would advance the clock and inflate the
+			// run's Cycles past the end of the actual computation.
+			m.done <- nil
+			m.parkOrExit(p)
+			return
+		}
 		if m.winEnabled && m.spinStreak >= 0 {
 			// The next event being an *eligible* spin probe is the
 			// cheap tell that a storm may be in rotation: scan for a
@@ -636,7 +680,7 @@ func (m *Machine) drive(p *Proc) {
 				m.tryWindow(Addr(a1))
 			}
 		}
-		kind, arg0, _, fired := m.eng.StepPayload()
+		kind, arg0, arg1, fired := m.eng.StepPayload()
 		if !fired {
 			m.done <- nil // queue drained: completion, or deadlock if live > 0
 			m.parkOrExit(p)
@@ -652,15 +696,34 @@ func (m *Machine) drive(p *Proc) {
 		case sim.EvDispatch:
 			m.spinStreak = 0
 			q = m.procs[arg0]
-			if q.finished {
-				continue // stale wakeup for a processor that already returned
+			if q.finished || q.crashed {
+				continue // stale wakeup: the processor returned or died
+			}
+			if m.flt != nil {
+				if e := m.flt.stallEnd(int(arg0), m.eng.Now()); e > m.eng.Now() {
+					// The processor is stalled: defer this delivery to the
+					// end of the stall window. The replacement event draws
+					// a fresh sequence number in both the windowed and
+					// per-event executions (windows never contain a
+					// stalled processor's events — see tryWindow), so the
+					// A/B invariant is preserved.
+					m.eng.AtEvent(e, kind, arg0, arg1)
+					continue
+				}
 			}
 			q.localNow = m.eng.Now()
 		case sim.EvSpin:
 			s := m.procs[arg0]
-			if s.finished {
+			if s.finished || s.crashed {
 				m.spinStreak = 0
 				continue
+			}
+			if m.flt != nil {
+				if e := m.flt.stallEnd(int(arg0), m.eng.Now()); e > m.eng.Now() {
+					m.spinStreak = 0
+					m.eng.AtEvent(e, kind, arg0, arg1)
+					continue
+				}
 			}
 			s.localNow = m.eng.Now()
 			if !m.spinAdvance(s) {
@@ -669,6 +732,19 @@ func (m *Machine) drive(p *Proc) {
 			}
 			m.spinStreak = 0
 			q = s // spin satisfied: resume the program at s.localNow
+		case sim.EvFault:
+			// Materialize a permanent processor crash. The processor's
+			// live count is surrendered here; its pending events are
+			// dropped on delivery above, its goroutine unwinds at
+			// teardown, and any word it holds stays held forever.
+			m.spinStreak = 0
+			r := m.procs[arg0]
+			if !r.finished && !r.crashed {
+				r.crashed = true
+				m.live--
+				m.setWinMask(r.id, false)
+			}
+			continue
 		default:
 			m.spinStreak = 0
 			continue // closure event, already run in place
@@ -694,9 +770,20 @@ func (m *Machine) parkOrExit(p *Proc) {
 	}
 }
 
+// ErrDeadlock marks a run that ended with live processors blocked and
+// no pending events. Fault-tolerant harness runners match it (with
+// errors.Is) to report a degraded cell — e.g. survivors blocked forever
+// on a word a crashed processor holds — instead of failing a sweep.
+var ErrDeadlock = errors.New("deadlock")
+
 func (m *Machine) deadlockError() error {
 	blocked := ""
+	crashed := 0
 	for _, p := range m.procs {
+		if p.crashed {
+			crashed++
+			continue // a dead processor is not blocked; it is gone
+		}
 		if !p.finished {
 			if blocked != "" {
 				blocked += ", "
@@ -708,7 +795,11 @@ func (m *Machine) deadlockError() error {
 			blocked += fmt.Sprintf("P%d(%s)", p.id, why)
 		}
 	}
-	return fmt.Errorf("machine: deadlock at t=%d with %d processors blocked: %s", m.eng.Now(), m.live, blocked)
+	suffix := ""
+	if crashed > 0 {
+		suffix = fmt.Sprintf(" (%d crashed)", crashed)
+	}
+	return fmt.Errorf("machine: %w at t=%d with %d processors blocked: %s%s", ErrDeadlock, m.eng.Now(), m.live, blocked, suffix)
 }
 
 // wakeWatchers schedules every processor watching addr to re-check at

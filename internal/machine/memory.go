@@ -99,7 +99,18 @@ func (m *Machine) accessModules(p *Proc, a Addr, _ accessKind) sim.Time {
 	if m.modFreeAt[mod] > start {
 		start = m.modFreeAt[mod]
 	}
-	service := m.cfg.LocalMem + m.topo.Traversal(p.id, mod, m.tm)
+	trav := m.topo.Traversal(p.id, mod, m.tm)
+	if m.flt != nil {
+		// A degraded module's network path is slower: scale the
+		// traversal term (not the local-memory term) by the factor
+		// active at issue time. Issue-time pricing matches the
+		// occupancy model — the request enters the degraded network
+		// when it is issued.
+		if f := m.flt.degradeFactor(mod, now); f > 1 {
+			trav *= sim.Time(f)
+		}
+	}
+	service := m.cfg.LocalMem + trav
 	if m.topo.Remote(p.id, mod) {
 		p.stats.RemoteRefs++
 		m.stats.RemoteRefs++

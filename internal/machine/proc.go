@@ -44,7 +44,11 @@ type Proc struct {
 	// here by value so entering a wait never allocates.
 	spin spinState
 
-	finished    bool
+	finished bool
+	// crashed marks a processor permanently removed by a fault plan
+	// (fault.go): its events are dropped, its goroutine unwinds at
+	// teardown, and the words it holds are never released.
+	crashed     bool
 	blockedOn   string // static tag for deadlock reports; never formatted on the hot path
 	blockedAddr Addr   // address detail when blockedOn == "watch"
 

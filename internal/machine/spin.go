@@ -124,7 +124,12 @@ type spinState struct {
 	bo        Backoff
 	cur       sim.Time // current backoff delay
 	pollEvery sim.Time // base poll spacing (topology-priced; set when poll)
-	val       Word     // last probed value; the spin's result
+	// deadline, when non-zero, bounds a test&set wait: the spin gives
+	// up at the first probe boundary at or past it (SpinTASFor). A
+	// deadline spin is never window- or batch-eligible — the closed
+	// forms would fast-forward past the give-up point.
+	deadline sim.Time
+	val      Word // last probed value; the spin's result
 }
 
 func (s *spinState) holds(v Word) bool {
@@ -155,7 +160,7 @@ func (s *spinState) nextDelay(p *Proc) sim.Time {
 // the goroutine loop it replaces) or must wait for an event, in which
 // case the goroutine drives the engine like any blocked processor and
 // returns when its spin completes.
-func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
+func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff, deadline sim.Time) Word {
 	s := &p.spin
 	s.active = true
 	s.kind = kind
@@ -164,13 +169,20 @@ func (p *Proc) spinBegin(kind uint8, a Addr, pr Pred, bo Backoff) Word {
 	s.bo = bo
 	s.cur = bo.Base
 	s.poll = false
+	s.deadline = deadline
+	if deadline > 0 {
+		// A timed-out wait reports the last probed value; seed it
+		// non-zero so a deadline already in the past reads as failure
+		// without issuing a probe.
+		s.val = 1
+	}
 	if kind != spinTAS && p.m.disc == topo.Modules {
 		if mod := p.m.home(a); mod != p.id {
 			s.poll = true
 			s.pollEvery = p.m.topo.PollSpacing(p.id, mod, p.m.tm)
 		}
 	}
-	s.winStatic = p.m.winStatic(p, kind, a, bo)
+	s.winStatic = deadline == 0 && p.m.winStatic(p, kind, a, bo)
 	s.phase = spReadIssue
 	if kind == spinTAS {
 		s.phase = spTASIssue
@@ -255,6 +267,9 @@ func (m *Machine) spinAdvance(p *Proc) bool {
 			return false
 		case spTASIssue:
 			p.blockedOn = "spin"
+			if s.deadline > 0 && p.localNow >= s.deadline {
+				return true // out of time: s.val is non-zero, the wait failed
+			}
 			if s.kind == spinTAS {
 				m.spinBatchTAS(p)
 			}
@@ -306,8 +321,10 @@ func (m *Machine) spinAdvance(p *Proc) bool {
 // collapse into O(1) work with bit-identical results.
 func (m *Machine) spinBatchTAS(p *Proc) {
 	s := &p.spin
-	// Backoff must be draw-free and no longer growing.
-	if s.bo.PropJitter || (s.bo.Base > 0 && s.cur < s.bo.Cap) {
+	// Backoff must be draw-free and no longer growing; a deadline spin
+	// must judge its give-up point at every probe boundary, so it is
+	// never batched.
+	if s.deadline != 0 || s.bo.PropJitter || (s.bo.Base > 0 && s.cur < s.bo.Cap) {
 		return
 	}
 	a := s.addr
@@ -327,7 +344,16 @@ func (m *Machine) spinBatchTAS(p *Proc) {
 		if m.modFreeAt[mod] > p.localNow {
 			return // port still draining: occupancy is not yet steady
 		}
-		lat = m.cfg.LocalMem + m.topo.Traversal(p.id, mod, m.tm)
+		trav := m.topo.Traversal(p.id, mod, m.tm)
+		if m.flt != nil {
+			// Price the whole run at the degrade factor active now; the
+			// fault-boundary clamp below guarantees the factor cannot
+			// change inside the batched span.
+			if f := m.flt.degradeFactor(mod, p.localNow); f > 1 {
+				trav *= sim.Time(f)
+			}
+		}
+		lat = m.cfg.LocalMem + trav
 		remote = m.topo.Remote(p.id, mod)
 	default:
 		lat = 1
@@ -352,6 +378,22 @@ func (m *Machine) spinBatchTAS(p *Proc) {
 		}
 		if byTime := uint64(span / int64(period)); byTime < k {
 			k = byTime
+		}
+	}
+	if m.flt != nil {
+		// Likewise stay strictly before the next fault boundary, where
+		// the degrade factor (and hence the per-probe latency) may
+		// change. A pending crash is already an event, caught above;
+		// clamping on every bound kind is merely conservative — a
+		// shorter batch is always exact, the tail replays per-probe.
+		if fb, ok := m.flt.nextBound(p.localNow); ok {
+			span := int64(fb - p.localNow - 1)
+			if span < int64(period) {
+				return
+			}
+			if byTime := uint64(span / int64(period)); byTime < k {
+				k = byTime
+			}
 		}
 	}
 	if k < 2 {
@@ -411,18 +453,18 @@ func (p *Proc) watchRegister(a Addr) {
 // The wait itself is machine-driven: the processor's goroutine parks
 // once and the engine replays the probes (see the package comment above).
 func (p *Proc) SpinUntilPred(a Addr, pred Pred) Word {
-	return p.spinBegin(spinRead, a, pred, Backoff{})
+	return p.spinBegin(spinRead, a, pred, Backoff{}, 0)
 }
 
 // SpinWhileEq is shorthand for spinning until the word differs from
 // sentinel.
 func (p *Proc) SpinWhileEq(a Addr, sentinel Word) Word {
-	return p.spinBegin(spinRead, a, Pred{Op: PredNe, Want: sentinel}, Backoff{})
+	return p.spinBegin(spinRead, a, Pred{Op: PredNe, Want: sentinel}, Backoff{}, 0)
 }
 
 // SpinUntilEq is shorthand for spinning until the word equals want.
 func (p *Proc) SpinUntilEq(a Addr, want Word) Word {
-	return p.spinBegin(spinRead, a, Pred{Op: PredEq, Want: want}, Backoff{})
+	return p.spinBegin(spinRead, a, Pred{Op: PredEq, Want: want}, Backoff{}, 0)
 }
 
 // SpinTAS repeatedly issues test&set on a until it returns 0 (the caller
@@ -431,7 +473,21 @@ func (p *Proc) SpinUntilEq(a Addr, want Word) Word {
 // probe is an atomic read-modify-write hammering the interconnect for as
 // long as the word stays non-zero.
 func (p *Proc) SpinTAS(a Addr, bo Backoff) {
-	p.spinBegin(spinTAS, a, Pred{}, bo)
+	p.spinBegin(spinTAS, a, Pred{}, bo, 0)
+}
+
+// SpinTASFor is the bounded-wait form of SpinTAS: it gives up at the
+// first probe boundary at or past the absolute deadline, reporting
+// whether the latch was won. A wait whose deadline has already passed
+// issues no probe and reports failure. Deadline waits replay
+// probe-by-probe (no closed-form batching or windowing — the give-up
+// point must be judged at every boundary), so they remain bit-identical
+// across every execution path by construction.
+func (p *Proc) SpinTASFor(a Addr, bo Backoff, deadline sim.Time) bool {
+	if deadline <= 0 {
+		deadline = 1 // a degenerate deadline in the past, never "unbounded"
+	}
+	return p.spinBegin(spinTAS, a, Pred{}, bo, deadline) == 0
 }
 
 // SpinTTAS is the test-and-test&set discipline: spin with ordinary reads
@@ -439,5 +495,5 @@ func (p *Proc) SpinTAS(a Addr, bo Backoff) {
 // failure, fall back to the read spin. Traffic drops from continuous to
 // one burst per release.
 func (p *Proc) SpinTTAS(a Addr) {
-	p.spinBegin(spinTTAS, a, Pred{Op: PredEq, Want: 0}, Backoff{})
+	p.spinBegin(spinTTAS, a, Pred{Op: PredEq, Want: 0}, Backoff{}, 0)
 }

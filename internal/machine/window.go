@@ -241,6 +241,16 @@ func (m *Machine) tryWindow(next Addr) {
 		m.spinStreak = -windowRetryStorm
 	}
 	eng := m.eng
+	// Fault gating, part one: refuse to form a window while any stall
+	// or degrade interval is active — a stalled spinner's pops would
+	// need deferring and a degraded module would change the service
+	// schedule, and a refused window is always exact (the per-event
+	// path replays the storm identically). Crashes need no check here:
+	// a pending EvFault is an ordinary horizon for ScanWindow, and a
+	// materialized crash already cleared its processor's mask bit.
+	if m.flt != nil && m.flt.activeAt(eng.Now()) {
+		return
+	}
 	if eng.Pending() < windowMinPops {
 		return
 	}
@@ -256,6 +266,17 @@ func (m *Machine) tryWindow(next Addr) {
 	m.winSet = set // keep the grown buffer
 	if len(set) < 2 {
 		return // rotation (and its alternating-owner argument) needs >= 2
+	}
+	// Fault gating, part two: clamp the horizon to the next fault
+	// boundary. No interval is active now (checked above) and no
+	// boundary precedes the clamped horizon, so fault state is
+	// constant across every in-window pop — no stall can defer one,
+	// no degrade can reprice one. Sequence 0 orders the synthetic
+	// horizon before every real event at its instant.
+	if m.flt != nil {
+		if fb, ok := m.flt.nextBound(eng.Now()); ok && (!haveHorizon || fb <= horizonWhen) {
+			horizonWhen, horizonSeq, haveHorizon = fb, 0, true
+		}
 	}
 
 	// A storm is present; any remaining blocker is transient (a winner

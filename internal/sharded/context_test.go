@@ -1,0 +1,87 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAcquireContextImmediate: with a permit available, AcquireContext
+// returns nil without consulting the context.
+func TestAcquireContextImmediate(t *testing.T) {
+	s := NewSemaphore(2, 4)
+	if err := s.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("acquire with permits available: %v", err)
+	}
+	s.Release()
+}
+
+// TestAcquireContextCanceled: a canceled context aborts the wait with
+// ctx.Err() and consumes no permit.
+func TestAcquireContextCanceled(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	s.Acquire() // drain the only permit
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AcquireContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := s.Value(); got != 0 {
+		t.Fatalf("aborted acquire changed the permit count: %d", got)
+	}
+	s.Release()
+	if err := s.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	s.Release()
+}
+
+// TestAcquireContextDeadline: a deadline expiring mid-wait unblocks the
+// waiter with DeadlineExceeded instead of spinning forever.
+func TestAcquireContextDeadline(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	s.Acquire()
+	defer s.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.AcquireContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestAcquireContextContended: waiters blocked on a full semaphore pick
+// up permits as they are released; no acquire is lost and the final
+// permit count balances.
+func TestAcquireContextContended(t *testing.T) {
+	const permits, waiters = 2, 8
+	s := NewSemaphore(permits, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.AcquireContext(ctx); err != nil {
+				errs <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("contended acquire: %v", err)
+	}
+	if got := s.Value(); got != permits {
+		t.Errorf("final permit count = %d, want %d", got, permits)
+	}
+}

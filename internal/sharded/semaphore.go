@@ -1,6 +1,7 @@
 package sharded
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -100,6 +101,26 @@ func (s *Semaphore) TryAcquire() bool {
 // is available.
 func (s *Semaphore) Acquire() {
 	for !s.TryAcquire() {
+		runtime.Gosched()
+	}
+}
+
+// AcquireContext takes one permit, spinning until one is available or
+// ctx is done, in which case it returns ctx.Err() and takes nothing.
+// The cancellation check costs one atomic load per empty sweep, so the
+// fast path is exactly Acquire's. This is the striped analogue of the
+// simulator's bounded acquires (simsync.BoundedLock): a worker stuck
+// behind a drained pool can give up instead of wedging its pipeline.
+func (s *Semaphore) AcquireContext(ctx context.Context) error {
+	for {
+		if s.TryAcquire() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
 		runtime.Gosched()
 	}
 }

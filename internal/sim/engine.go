@@ -43,6 +43,13 @@ const (
 	// consumption — which is what keeps spin batching bit-identical to
 	// probe-by-probe execution.
 	EvSpin
+	// EvFault materializes a scheduled machine fault (today: a permanent
+	// processor crash); arg0 is the processor index. Keeping faults in
+	// the event queue — rather than checking fault tables lazily — means
+	// a pending EvFault bounds every processor's inline run-ahead and
+	// every spin window's horizon exactly like any other event, which is
+	// what keeps faulted runs bit-identical across execution paths.
+	EvFault
 )
 
 // Handler consumes typed events. A single handler is installed by the

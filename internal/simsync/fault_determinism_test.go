@@ -1,0 +1,175 @@
+package simsync
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/topo"
+)
+
+// Fault-plan determinism: the whole determinism contract — run twice
+// bit-identical, windows on/off A/B identical — must survive fault
+// injection. Stalls and degrades perturb event timing and memory
+// pricing mid-run, which is exactly the regime where a spin window
+// popping in closed form across a fault boundary would diverge from
+// the per-event execution; these suites replay every family through
+// such plans on every registered topology.
+//
+// The plans here carry no crashes: a crash can wedge the blocking
+// runners (that behavior has its own suite below and in the machine
+// package), while stall+degrade plans leave every workload able to
+// finish.
+
+// faultPlanFor builds a deterministic stall+degrade plan sized to the
+// short determinism workloads: a couple of mid-run stalls spread over
+// the contending processors plus two module degrades.
+func faultPlanFor(tp topo.Topology, procs int) *fault.Plan {
+	return fault.Generate(
+		fmt.Sprintf("det/%s/P%d", tp.Name(), procs),
+		0xFA017+uint64(procs),
+		fault.Spec{
+			Procs:   procs,
+			Modules: procs,
+			Horizon: 20000,
+			Stalls:  procs/2 + 1, StallMin: 200, StallMax: 1000,
+			Degrades: 2, DegradeMin: 1000, DegradeMax: 4000, FactorMax: 4,
+		})
+}
+
+func TestFaultDeterminismLocks(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := faultPlanFor(tp, procs)
+		for _, info := range Locks() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunLock(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestFaultDeterminismBarriers(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := faultPlanFor(tp, procs)
+		for _, info := range Barriers() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunBarrier(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, BarrierOpts{Episodes: 10, Work: 150})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestFaultDeterminismRWLocks(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := faultPlanFor(tp, procs)
+		for _, info := range RWLocks() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunRW(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestFaultDeterminismSemaphores(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := faultPlanFor(tp, procs)
+		for _, info := range Semaphores() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunProducerConsumer(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestFaultDeterminismCounters(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := faultPlanFor(tp, procs)
+		for _, info := range Counters() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunCounter(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, CounterOpts{Incs: 30, Think: 20})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+// TestFaultDeterminismCrashRunner covers the crash path: plans that
+// kill processors mid-run, executed through the degradation-tolerant
+// runner. The full FaultLockResult — outcome classification, attempt
+// and timeout counts, crash tally, throughput — must be bit-identical
+// across repeat runs and across the windows A/B switch.
+func TestFaultDeterminismCrashRunner(t *testing.T) {
+	locks := []string{"tas", "tas-deadline", "lease"}
+	for _, tp := range []topo.Topology{topo.Bus, topo.NUMA} {
+		for _, procs := range []int{4, 8} {
+			// A hand-built plan pins the crash early enough to land inside
+			// even the fastest configuration's run (a generated crash
+			// drawn past the last real event never materializes — the
+			// drive loop stops at live==0 without draining stale events).
+			plan := fault.NewPlan(fmt.Sprintf("crash/%s/P%d", tp.Name(), procs)).
+				WithStall(0, 300, 900).
+				WithCrash(procs-1, 700)
+			for _, lk := range locks {
+				info := mustLock(t, lk)
+				name := fmt.Sprintf("%s/%s/P%d/crash", tp.Name(), lk, procs)
+				opts := FaultLockOpts{Iters: 12, CS: 25, Think: 50, Budget: 2048, MaxSteps: 500_000}
+				measure := func(noWindows bool) (FaultLockResult, error) {
+					return RunLockFaulted(nil,
+						machine.Config{Procs: procs, Topo: tp, Seed: 11, NoSpinWindows: noWindows},
+						info, plan, opts)
+				}
+				a, err := measure(false)
+				if err != nil {
+					t.Fatalf("%s: first run: %v", name, err)
+				}
+				b, err := measure(false)
+				if err != nil {
+					t.Fatalf("%s: second run: %v", name, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("%s: runs diverged:\n  first:  %+v\n  second: %+v", name, a, b)
+				}
+				c, err := measure(true)
+				if err != nil {
+					t.Fatalf("%s: windows-off run: %v", name, err)
+				}
+				if c.Stats.WindowOps != 0 {
+					t.Fatalf("%s: NoSpinWindows run still batched %d window ops", name, c.Stats.WindowOps)
+				}
+				a.Stats.WindowOps = 0
+				if !reflect.DeepEqual(a, c) {
+					t.Errorf("%s: window batching changed results:\n  on:  %+v\n  off: %+v", name, a, c)
+				}
+				if a.Crashed != 1 {
+					t.Errorf("%s: plan crashes one processor, run reports %d", name, a.Crashed)
+				}
+			}
+		}
+	}
+}

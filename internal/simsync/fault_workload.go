@@ -1,0 +1,259 @@
+package simsync
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Outcome classifies how a fault-injected run ended. Degraded outcomes
+// (step limit, deadlock) are data, not errors: a crashed holder wedging
+// its lock word is exactly the failure mode the resilience sweeps
+// measure, so the runner reports how far the survivors got instead of
+// aborting the sweep.
+type Outcome int
+
+const (
+	// OutcomeOK: every non-crashed processor completed its iterations.
+	OutcomeOK Outcome = iota
+	// OutcomeStepLimit: the run hit the engine's event budget — the
+	// survivors were still burning cycles (usually spinning on a word a
+	// crashed processor holds) when the simulation was cut off.
+	OutcomeStepLimit
+	// OutcomeDeadlock: every live processor was blocked with no pending
+	// events — survivors parked forever behind a crashed processor.
+	OutcomeDeadlock
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeStepLimit:
+		return "steplimit"
+	case OutcomeDeadlock:
+		return "deadlock"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// FaultLockOpts configures a fault-injected lock workload.
+type FaultLockOpts struct {
+	Iters int      // acquisition attempts per processor
+	CS    sim.Time // work inside the critical section
+	Think sim.Time // mean exponential think time between attempts
+
+	// Budget, when positive and the lock implements BoundedLock, makes
+	// each attempt bounded: an attempt that cannot acquire within Budget
+	// cycles counts as a timeout and the processor moves on to its next
+	// attempt. Zero (or an unbounded lock) means blocking Acquire, where
+	// a wedged lock word ends the run at the step limit or in deadlock.
+	Budget sim.Time
+
+	// MaxSteps caps the engine's event budget so wedged runs come back
+	// quickly as OutcomeStepLimit. Zero keeps the machine default.
+	MaxSteps uint64
+}
+
+// FaultLockResult is the outcome of one fault-injected lock run. Counts
+// and Stats are valid for every Outcome — a degraded run reports the
+// work completed before the wedge.
+type FaultLockResult struct {
+	Lock    string
+	Plan    string
+	Topo    topo.Topology
+	Procs   int
+	Outcome Outcome
+
+	Attempts     uint64 // acquire attempts issued (all processors)
+	Acquisitions uint64 // attempts that entered the critical section
+	Timeouts     uint64 // bounded attempts that expired
+	Crashed      int    // processors the plan crashed during the run
+
+	Cycles sim.Time
+	// AcqPerKCycle is throughput: acquisitions per thousand elapsed
+	// cycles. The resilience sweeps plot it against fault level.
+	AcqPerKCycle float64
+	Stats        machine.Stats
+}
+
+// RunLockFaulted executes the critical-section workload for one lock on
+// a machine driven by the given fault plan, checking mutual exclusion
+// among live processors as it goes.
+//
+// The safety check tracks the host-side holder identity: an acquire
+// that succeeds while a *live* processor is inside the critical section
+// is a violation (and a returned error — a broken lock never produces a
+// data point). A holder that crashed inside the critical section is
+// excused: whether survivors can get past it is precisely the
+// robustness property under test, so that shows up in Outcome and
+// throughput, not as a safety failure.
+func RunLockFaulted(pool *machine.Pool, cfg machine.Config, info LockInfo, plan *fault.Plan, opts FaultLockOpts) (FaultLockResult, error) {
+	cfg.Faults = plan
+	if opts.MaxSteps > 0 {
+		cfg.MaxSteps = opts.MaxSteps
+	}
+	cfg = cfg.Defaults()
+	m, err := getMachine(pool, cfg)
+	if err != nil {
+		return FaultLockResult{}, err
+	}
+	defer putMachine(pool, m)
+	lock := info.Make(m)
+	bounded, _ := lock.(BoundedLock)
+
+	procs := cfg.Procs
+	var attempts, acqs, timeouts uint64
+	holder := -1 // host-side: processor inside the CS, -1 when free
+	violations := 0
+
+	body := func(p *machine.Proc) {
+		me := p.ID()
+		rng := p.RNG()
+		for it := 0; it < opts.Iters; it++ {
+			if opts.Think > 0 {
+				p.Delay(rng.ExpTime(opts.Think))
+			}
+			attempts++
+			if bounded != nil && opts.Budget > 0 {
+				if !bounded.AcquireWithin(p, opts.Budget) {
+					timeouts++
+					continue
+				}
+			} else {
+				lock.Acquire(p)
+			}
+			if holder >= 0 && holder != me && !m.Crashed(holder) {
+				violations++
+			}
+			holder = me
+			acqs++
+			if opts.CS > 0 {
+				p.Delay(opts.CS)
+			}
+			// A usurped lease holder keeps `holder` set until its (noop)
+			// release; clearing only our own claim keeps the check exact.
+			if holder == me {
+				holder = -1
+			}
+			lock.Release(p)
+		}
+	}
+
+	runErr := m.Run(body)
+	res := FaultLockResult{
+		Lock:         info.Name,
+		Plan:         plan.Name(),
+		Topo:         cfg.Topo,
+		Procs:        procs,
+		Attempts:     attempts,
+		Acquisitions: acqs,
+		Timeouts:     timeouts,
+	}
+	switch {
+	case runErr == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(runErr, sim.ErrStepLimit):
+		res.Outcome = OutcomeStepLimit
+	case errors.Is(runErr, machine.ErrDeadlock):
+		res.Outcome = OutcomeDeadlock
+	default:
+		return FaultLockResult{}, fmt.Errorf("lock %q under plan %q: %w", info.Name, plan.Name(), runErr)
+	}
+	if violations > 0 {
+		return FaultLockResult{}, fmt.Errorf("lock %q under plan %q violated mutual exclusion %d times among live processors", info.Name, plan.Name(), violations)
+	}
+	for i := 0; i < procs; i++ {
+		if m.Crashed(i) {
+			res.Crashed++
+		}
+	}
+	st := m.Stats()
+	res.Cycles = st.Cycles
+	res.Stats = st
+	if st.Cycles > 0 {
+		res.AcqPerKCycle = float64(acqs) * 1000 / float64(st.Cycles)
+	}
+	return res, nil
+}
+
+// FaultBarrierOpts configures a fault-injected straggler-barrier run.
+type FaultBarrierOpts struct {
+	Episodes int
+	Work     sim.Time // mean exponential work per phase
+	Budget   sim.Time // straggler barrier wait budget
+	MaxSteps uint64
+}
+
+// FaultBarrierResult is the outcome of one fault-injected barrier run.
+type FaultBarrierResult struct {
+	Plan     string
+	Procs    int
+	Outcome  Outcome
+	Episodes uint64 // episodes completed across all live processors
+	Timeouts uint64 // waits that forced an episode open
+	Crashed  int
+	Cycles   sim.Time
+	Stats    machine.Stats
+}
+
+// RunBarrierFaulted drives the straggler-tolerant barrier through a
+// fault plan: crashed processors stop arriving, and every completed
+// wait — on time or by budget expiry — counts toward the episode total.
+func RunBarrierFaulted(pool *machine.Pool, cfg machine.Config, plan *fault.Plan, opts FaultBarrierOpts) (FaultBarrierResult, error) {
+	cfg.Faults = plan
+	if opts.MaxSteps > 0 {
+		cfg.MaxSteps = opts.MaxSteps
+	}
+	cfg = cfg.Defaults()
+	m, err := getMachine(pool, cfg)
+	if err != nil {
+		return FaultBarrierResult{}, err
+	}
+	defer putMachine(pool, m)
+	bar := NewStragglerBarrier(m, opts.Budget).(*stragglerBarrier)
+
+	var done uint64
+	body := func(p *machine.Proc) {
+		rng := p.RNG()
+		for e := 0; e < opts.Episodes; e++ {
+			if opts.Work > 0 {
+				p.Delay(rng.ExpTime(opts.Work))
+			}
+			bar.Wait(p)
+			done++
+		}
+	}
+
+	runErr := m.Run(body)
+	res := FaultBarrierResult{
+		Plan:     plan.Name(),
+		Procs:    cfg.Procs,
+		Episodes: done,
+		Timeouts: bar.Timeouts(),
+	}
+	switch {
+	case runErr == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(runErr, sim.ErrStepLimit):
+		res.Outcome = OutcomeStepLimit
+	case errors.Is(runErr, machine.ErrDeadlock):
+		res.Outcome = OutcomeDeadlock
+	default:
+		return FaultBarrierResult{}, fmt.Errorf("straggler barrier under plan %q: %w", plan.Name(), runErr)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		if m.Crashed(i) {
+			res.Crashed++
+		}
+	}
+	st := m.Stats()
+	res.Cycles = st.Cycles
+	res.Stats = st
+	return res, nil
+}

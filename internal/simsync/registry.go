@@ -30,6 +30,12 @@ func init() {
 		LockInfo{Name: "anderson", Make: NewAnderson, FIFO: true},
 		LockInfo{Name: "gt", Make: NewGraunkeThakkar, FIFO: true},
 		LockInfo{Name: "qsync", Make: NewQSync, FIFO: true},
+		// Fault-tolerant locks (robust.go). With default parameters —
+		// long slices, an effectively infinite lease — they are plain
+		// deterministic locks in fault-free sweeps; the fault harness
+		// tightens their bounds to exercise timeout and takeover paths.
+		LockInfo{Name: "tas-deadline", Make: NewTASDeadline, FIFO: false},
+		LockInfo{Name: "lease", Make: NewLease, FIFO: false},
 	)
 	BarrierSet.Register(
 		BarrierInfo{Name: "central", Make: NewCentralBarrier},
