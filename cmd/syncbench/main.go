@@ -10,6 +10,7 @@
 //	syncbench -all -csv results/   # also write one CSV per table
 //	syncbench -all -algos=tas,qsync  # restrict sweeps to named algorithms
 //	syncbench -topo=cluster -run L1-cluster,X1  # topology selection (see -list)
+//	syncbench -faults=L0,R2 -run FT3,FT4  # fault-level selection (see -list)
 //	syncbench -shardedjson BENCH_sharded.json  # real-runtime ops/sec snapshot
 //	syncbench -simjson BENCH_sim.json -simlabel "engine milestone"
 //	                               # merge a dated snapshot into the trajectory
@@ -52,6 +53,7 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		algos    = flag.String("algos", "", "comma-separated algorithm names to restrict sweeps to (per family; families with no match run in full)")
 		topos    = flag.String("topo", "", "comma-separated topology names for the topology-axis experiments (X1/X2 and the per-topology battery); see -list")
+		faults   = flag.String("faults", "", "comma-separated fault-level names for the fault-axis experiments (FT1/FT2 and FT3/FT4); see -list")
 		benchJS  = flag.String("shardedjson", "", "write a machine-readable real-runtime ops/sec snapshot (e.g. BENCH_sharded.json)")
 		simJS    = flag.String("simjson", "", "merge a dated simulator-throughput snapshot into this trajectory file (e.g. BENCH_sim.json); earlier snapshots are preserved")
 		simLabel = flag.String("simlabel", "", "optional label recorded on the -simjson snapshot")
@@ -99,6 +101,10 @@ func run() int {
 			fmt.Printf("  %-12s %s\n", strings.Join(e.IDs, "+"), e.Title)
 		}
 		fmt.Printf("topologies (-topo): %s\n", strings.Join(topo.Names(), " "))
+		fmt.Println("fault levels (-faults):")
+		for _, lv := range harness.FaultLevels() {
+			fmt.Printf("  %-12s %s\n", lv.Name, lv.Note)
+		}
 		return 0
 	}
 
@@ -109,6 +115,11 @@ func run() int {
 	}
 	topoList := registry.SplitList(*topos)
 	if err := harness.ValidateTopos(topoList); err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		return 2
+	}
+	faultList := registry.SplitList(*faults)
+	if err := harness.ValidateFaults(faultList); err != nil {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
 		return 2
 	}
@@ -144,7 +155,7 @@ func run() int {
 		return 2
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList, Topos: topoList}
+	opts := harness.Options{Quick: *quick, Seed: *seed, CSVDir: *csvDir, Algos: algoList, Topos: topoList, Faults: faultList}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}

@@ -10,9 +10,15 @@
 //	syncsim -kind counter -algos ctr-fa,ctr-sharded -topo cluster -procs 32
 //	syncsim -kind rw -algos rw-qsync -readfrac 0.9 -procs 16
 //	syncsim -kind sem -algos sem-central,sem-sharded -topo cluster -procs 8
+//	syncsim -kind lock -algos qheal -faults R1 -procs 16
 //
 // Topologies resolve through the registry in internal/topo (-names
-// lists them); -model remains as a legacy spelling of -topo.
+// lists them); -model remains as a legacy spelling of -topo. -faults
+// drives the lock and barrier workloads through a named fault level
+// (the FT-sweep axis; -names lists the levels) using the
+// crash-recovery runners, reporting availability-style counters —
+// orphaned acquisitions, time-to-recovery — instead of the fault-free
+// latency breakdown.
 package main
 
 import (
@@ -24,6 +30,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fault"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -47,6 +55,7 @@ func main() {
 		think    = flag.Int64("think", 50, "mean think time, cycles")
 		readfrac = flag.Float64("readfrac", 0.9, "read fraction (rw)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		faultLvl = flag.String("faults", "", "fault-level name to inject (lock and barrier kinds; see -names)")
 		names    = flag.Bool("names", false, "list algorithm names and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,6 +104,11 @@ func main() {
 		fmt.Printf("semaphores: %s\n", strings.Join(simsync.SemaphoreSet.Names(), " "))
 		fmt.Printf("counters:  %s\n", strings.Join(simsync.CounterSet.Names(), " "))
 		fmt.Printf("topologies: %s\n", strings.Join(topo.Names(), " "))
+		var levels []string
+		for _, lv := range harness.FaultLevels() {
+			levels = append(levels, lv.Name)
+		}
+		fmt.Printf("fault levels: %s\n", strings.Join(levels, " "))
 		return
 	}
 
@@ -109,6 +123,19 @@ func main() {
 	cfg := machine.Config{Procs: *procs, Topo: tp, Seed: *seed}
 
 	selection := parseAlgos(*algos, *algo)
+
+	if *faultLvl != "" {
+		lv, ok := harness.FaultLevelByName(*faultLvl)
+		if !ok {
+			var known []string
+			for _, l := range harness.FaultLevels() {
+				known = append(known, l.Name)
+			}
+			fail("unknown fault level %q (known: %s)", *faultLvl, strings.Join(known, " "))
+		}
+		runFaulted(cfg, lv, *kind, selection, *iters, *episodes, sim.Time(*cs), sim.Time(*think))
+		return
+	}
 
 	switch *kind {
 	case "lock":
@@ -188,6 +215,64 @@ func main() {
 		}
 	default:
 		fail("unknown kind %q (lock, barrier, rw, sem, counter)", *kind)
+	}
+}
+
+// runFaulted drives the selected algorithms through one named fault
+// level using the crash-recovery runners, the single-cell microscope
+// for the FT sweeps. Only the lock and barrier kinds have resilience
+// runners; the other families are rejected rather than silently run
+// fault-free.
+func runFaulted(cfg machine.Config, lv harness.FaultLevel, kind string, selection []string, iters, episodes int, cs, think sim.Time) {
+	const maxSteps = 2_000_000
+	plan := func(units int) *fault.Plan {
+		if lv.None {
+			return fault.NewPlan(lv.Name)
+		}
+		return fault.Generate(fmt.Sprintf("%s/%s", cfg.Topo.Name(), lv.Name), cfg.Seed, lv.Spec(cfg.Procs, units))
+	}
+	switch kind {
+	case "lock":
+		for _, info := range selectFrom(simsync.LockSet, selection, "qsync") {
+			res, err := simsync.RunLockRecovery(nil, cfg, info, plan(iters), simsync.RecoveryLockOpts{
+				Iters: iters, CS: cs, Think: think,
+				Budget: 4096, MaxSteps: maxSteps,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("lock=%s model=%s procs=%d iters=%d faults=%s\n", res.Lock, res.Topo.Name(), res.Procs, iters, res.Plan)
+			fmt.Printf("  outcome:           %s\n", res.Outcome)
+			fmt.Printf("  acquisitions:      %d of %d offered\n", res.Acquisitions, uint64(iters)*uint64(res.Procs))
+			fmt.Printf("  timeouts:          %d\n", res.Timeouts)
+			fmt.Printf("  orphaned acq:      %d\n", res.Orphaned)
+			fmt.Printf("  fenced writes:     %d\n", res.StaleWrites)
+			fmt.Printf("  crashed/recovered: %d / %d\n", res.Crashed, res.Recovered)
+			if res.Recoveries > 0 {
+				fmt.Printf("  mean ttr (cycles): %d\n", int64(res.RecoveryCycles)/int64(res.Recoveries))
+			}
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+			fmt.Printf("  acq/kilocycle:     %.2f\n", res.AcqPerKCycle)
+		}
+	case "barrier":
+		for _, info := range selectFrom(simsync.BarrierSet, selection, "qsync-tree") {
+			res, err := simsync.RunBarrierRecovery(nil, cfg, info.Name, info.Make, plan(episodes), simsync.RecoveryBarrierOpts{
+				Episodes: episodes, Work: think, MaxSteps: maxSteps,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("barrier=%s model=%s procs=%d episodes=%d faults=%s\n", res.Barrier, cfg.Topo.Name(), res.Procs, episodes, res.Plan)
+			fmt.Printf("  outcome:           %s\n", res.Outcome)
+			fmt.Printf("  episodes done:     %d of %d offered\n", res.Episodes, uint64(episodes)*uint64(res.Procs))
+			fmt.Printf("  crashed/recovered: %d / %d\n", res.Crashed, res.Recovered)
+			if res.Recoveries > 0 {
+				fmt.Printf("  mean ttr (cycles): %d\n", int64(res.RecoveryCycles)/int64(res.Recoveries))
+			}
+			fmt.Printf("  elapsed cycles:    %d\n", res.Cycles)
+		}
+	default:
+		fail("-faults supports -kind lock and barrier, not %q", kind)
 	}
 }
 

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFaults(t *testing.T) {
+	if err := ValidateFaults([]string{"L0", "r1", "L3"}); err != nil {
+		t.Fatalf("valid names rejected: %v", err)
+	}
+	err := ValidateFaults([]string{"L0", "L9"})
+	if err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if !strings.Contains(err.Error(), "L9") || !strings.Contains(err.Error(), "R2") {
+		t.Fatalf("error should name the offender and the known levels: %v", err)
+	}
+}
+
+func TestFaultLevelByNameCaseInsensitive(t *testing.T) {
+	lv, ok := FaultLevelByName(" r2 ")
+	if !ok || lv.Name != "R2" {
+		t.Fatalf("got (%v, %v), want R2", lv.Name, ok)
+	}
+	if !lv.Recovery {
+		t.Fatal("R2 must be a recovery level")
+	}
+	if _, ok := FaultLevelByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+// The fail-stop FT1/FT2 runner replays reborn processors' iterations
+// and mis-reads a reborn holder as live, so the sweep must refuse the
+// restart-carrying levels instead of producing corrupt cells (or a
+// spurious mutual-exclusion abort).
+func TestFaultSweepRejectsRecoveryLevels(t *testing.T) {
+	o := Options{Quick: true, Faults: []string{"L0", "R1"}}
+	_, err := runFaultSweep(o)
+	if err == nil {
+		t.Fatal("FT1/FT2 accepted a recovery level")
+	}
+	if !strings.Contains(err.Error(), "R1") || !strings.Contains(err.Error(), "FT3") {
+		t.Fatalf("error should name the level and point at FT3/FT4: %v", err)
+	}
+}
+
+// FT3/FT4 accept any mix of fail-stop and recovery levels.
+func TestRecoverySweepAcceptsMixedLevels(t *testing.T) {
+	o := Options{Quick: true, Faults: []string{"L2", "R1"}}
+	tables, err := runRecoverySweep(o)
+	if err != nil {
+		t.Fatalf("runRecoverySweep: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want FT3+FT4", len(tables))
+	}
+	wantRows := 3 * 2 // topologies x selected levels
+	for _, tb := range tables {
+		if len(tb.Rows) != wantRows {
+			t.Fatalf("%s: got %d rows, want %d", tb.ID, len(tb.Rows), wantRows)
+		}
+	}
+}

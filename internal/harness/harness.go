@@ -33,6 +33,13 @@ type Options struct {
 	// battery covers the non-canonical ones (everything beyond bus and
 	// numa, which have their own canonical tables).
 	Topos []string
+	// Faults, when non-empty, selects the named fault levels (the
+	// -faults= flag) the fault-axis experiments sweep, resolved strictly
+	// against FaultLevels. Empty defaults per experiment: FT1/FT2 ramp
+	// the fail-stop levels, FT3/FT4 the crash-recovery ones. FT1/FT2
+	// reject the restart-carrying levels (R1, R2) — their fail-stop
+	// runner is incarnation-blind; FT3/FT4 accept every level.
+	Faults []string
 }
 
 func (o Options) seed() uint64 {
@@ -88,6 +95,7 @@ func Registry() []Experiment {
 		{IDs: []string{"X1", "X2"}, Title: "Lock sweep with machine topology as the matrix axis", Run: runTopoAxis},
 		{IDs: []string{"SC1", "SC2"}, Title: "Scaling-law sweep: contended tas storm vs processor count across topologies", Run: runScalingSweep},
 		{IDs: []string{"FT1", "FT2"}, Title: "Resilience under deterministic fault injection: outcomes and throughput vs fault level", Run: runFaultSweep},
+		{IDs: []string{"FT3", "FT4"}, Title: "Crash recovery: lock and barrier availability, time-to-recovery, orphaned acquisitions under restart plans", Run: runRecoverySweep},
 		{IDs: []string{"L1-cluster", "L2-cluster", "B1-cluster", "R1-cluster", "S1-cluster", "C1-cluster"},
 			Title: "Full simulated battery per topology (default: every non-canonical registered topology; -topo selects)", Run: runTopoBattery},
 	}

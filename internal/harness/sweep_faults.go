@@ -11,9 +11,14 @@ package harness
 // so an ErrStepLimit cell renders as a row entry, never as a sweep
 // failure. Every plan is generated from the sweep seed, so the whole
 // matrix is bit-reproducible.
+//
+// The fault-intensity axis is the exported, named FaultLevels registry
+// (selected with -faults=); the crash-with-restart levels (R1, R2)
+// drive the FT3/FT4 recovery sweeps in sweep_recovery.go.
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -22,44 +27,108 @@ import (
 	"repro/internal/topo"
 )
 
-// faultLevel describes one intensity step of the injected fault load.
-type faultLevel struct {
-	name string
-	spec func(procs int) fault.Spec // zero Spec plus empty=true means no faults
-	none bool
+// FaultLevel is one named intensity step of the injected fault load,
+// selectable by name with the -faults= flag.
+type FaultLevel struct {
+	Name string
+	// Note is the one-line description shown by listing flags.
+	Note string
+	// None marks the fault-free baseline (no plan is generated).
+	None bool
+	// Recovery marks levels whose crashes carry restarts; the FT3/FT4
+	// sweeps default to these.
+	Recovery bool
+	// Spec generates the fault spec for a run of procs processors each
+	// offering iters operations; the plan horizon is sized to the
+	// offered work so generated fault times land inside the run.
+	Spec func(procs, iters int) fault.Spec
 }
 
-// faultLevels is the fault-intensity axis. Level 0 is the fault-free
-// baseline; stalls and degradations arrive first, crashes last, so the
-// table reads as a monotone stress ramp. The plan horizon is sized to
-// the offered work (not to some fixed constant) so the generated fault
-// times actually land inside the run: a crash scheduled after the last
-// release would test nothing.
-func (o Options) faultLevels() []faultLevel {
-	mk := func(stalls, crashes, degrades, factorMax int) func(int) fault.Spec {
-		return func(procs int) fault.Spec {
-			horizon := sim.Time(o.lockIters()) * sim.Time(procs) * 30
-			return fault.Spec{
-				Procs:   procs,
-				Modules: procs,
-				Horizon: horizon,
-				Stalls:  stalls, StallMin: 500, StallMax: 2000,
-				Crashes:  crashes,
-				Degrades: degrades, DegradeMin: 2000, DegradeMax: 8000,
-				FactorMax: factorMax,
-			}
+// mkFaultSpec fixes the interval shapes shared by every level: stalls
+// of 500–2000 cycles (at most the failure-detector threshold, so no
+// stall ever reads as a false-positive suspicion), degrades of
+// 2000–8000 cycles, and — for recovery levels — restarts 3000–8000
+// cycles after their crash (past the suspicion threshold, so the
+// detector observably fires before the rebirth).
+func mkFaultSpec(stalls, crashes, restarts, degrades, factorMax int) func(procs, iters int) fault.Spec {
+	return func(procs, iters int) fault.Spec {
+		horizon := sim.Time(iters) * sim.Time(procs) * 30
+		return fault.Spec{
+			Procs:   procs,
+			Modules: procs,
+			Horizon: horizon,
+			Stalls:  stalls, StallMin: 500, StallMax: 2000,
+			Crashes:  crashes,
+			Restarts: restarts, RestartDelayMin: 3000, RestartDelayMax: 8000,
+			Degrades: degrades, DegradeMin: 2000, DegradeMax: 8000,
+			FactorMax: factorMax,
 		}
 	}
-	all := []faultLevel{
-		{name: "L0", none: true},
-		{name: "L1", spec: mk(4, 0, 2, 4)},
-		{name: "L2", spec: mk(4, 1, 2, 4)},
-		{name: "L3", spec: mk(8, 2, 4, 8)},
+}
+
+// FaultLevels returns the named fault-intensity registry in canonical
+// order: the fail-stop ramp L0–L3, then the crash-recovery levels.
+func FaultLevels() []FaultLevel {
+	return []FaultLevel{
+		{Name: "L0", Note: "fault-free baseline", None: true},
+		{Name: "L1", Note: "stalls and module degrades, no crashes", Spec: mkFaultSpec(4, 0, 0, 2, 4)},
+		{Name: "L2", Note: "L1 plus one fail-stop crash", Spec: mkFaultSpec(4, 1, 0, 2, 4)},
+		{Name: "L3", Note: "heavy: eight stalls, two fail-stop crashes, deep degrades", Spec: mkFaultSpec(8, 2, 0, 4, 8)},
+		{Name: "R1", Note: "one crash with restart, light stalls and degrades", Recovery: true, Spec: mkFaultSpec(2, 1, 1, 1, 4)},
+		{Name: "R2", Note: "two crashes with restarts, heavier stalls and degrades", Recovery: true, Spec: mkFaultSpec(4, 2, 2, 2, 8)},
 	}
+}
+
+// FaultLevelByName resolves a fault level case-insensitively.
+func FaultLevelByName(name string) (FaultLevel, bool) {
+	name = strings.TrimSpace(name)
+	for _, lv := range FaultLevels() {
+		if strings.EqualFold(lv.Name, name) {
+			return lv, true
+		}
+	}
+	return FaultLevel{}, false
+}
+
+// ValidateFaults rejects unknown fault-level names (the -faults= flag's
+// strict check, mirroring the topology flag).
+func ValidateFaults(names []string) error {
+	var known []string
+	for _, lv := range FaultLevels() {
+		known = append(known, lv.Name)
+	}
+	for _, n := range names {
+		if _, ok := FaultLevelByName(n); !ok {
+			return fmt.Errorf("harness: unknown fault level %q (known: %s)", n, strings.Join(known, " "))
+		}
+	}
+	return nil
+}
+
+// faultAxis resolves the fault-level axis for one sweep: the Options
+// selection when -faults= was given, the sweep's defaults otherwise.
+func (o Options) faultAxis(defaults []string) ([]FaultLevel, error) {
+	names := defaults
+	if len(o.Faults) > 0 {
+		names = o.Faults
+	}
+	var levels []FaultLevel
+	for _, n := range names {
+		lv, ok := FaultLevelByName(n)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown fault level %q", n)
+		}
+		levels = append(levels, lv)
+	}
+	return levels, nil
+}
+
+// ft12Defaults is the FT1/FT2 axis: the fail-stop ramp.
+func (o Options) ft12Defaults() []string {
 	if o.Quick {
-		return []faultLevel{all[0], all[2]}
+		return []string{"L0", "L2"}
 	}
-	return all
+	return []string{"L0", "L1", "L2", "L3"}
 }
 
 // faultLocks is the FT column set: the blocking baselines (tas, tas-bo,
@@ -94,23 +163,36 @@ func runFaultSweep(o Options) ([]Table, error) {
 		maxSteps = 300_000
 	}
 	topos := o.axisTopos()
-	levels := o.faultLevels()
+	levels, err := o.faultAxis(o.ft12Defaults())
+	if err != nil {
+		return nil, err
+	}
+	for _, lv := range levels {
+		// The fail-stop runner is incarnation-blind: a reborn processor
+		// replays its iterations (inflating the completed fraction) and
+		// a holder that crashed in the CS reads as live again after its
+		// rebirth, turning a legitimate lease takeover into a spurious
+		// mutual-exclusion abort. Recovery levels belong to FT3/FT4.
+		if lv.Recovery {
+			return nil, fmt.Errorf("harness: fault level %q carries restarts; FT1/FT2 are fail-stop experiments — run FT3/FT4 for the recovery levels", lv.Name)
+		}
+	}
 	infos := faultLocks()
 
 	type rowKey struct {
 		tp    topo.Topology
-		level faultLevel
+		level FaultLevel
 		plan  *fault.Plan
 	}
 	var rows []rowKey
 	for ti, tp := range topos {
 		for li, lv := range levels {
-			plan := fault.NewPlan(lv.name)
-			if !lv.none {
+			plan := fault.NewPlan(lv.Name)
+			if !lv.None {
 				// One plan per row, shared by every lock column, so the
 				// columns are hit by the same stalls/crashes/degrades.
 				seed := o.seed()*1000 + uint64(ti)*16 + uint64(li)
-				plan = fault.Generate(fmt.Sprintf("%s/%s", tp.Name(), lv.name), seed, lv.spec(procs))
+				plan = fault.Generate(fmt.Sprintf("%s/%s", tp.Name(), lv.Name), seed, lv.Spec(procs, iters))
 			}
 			rows = append(rows, rowKey{tp: tp, level: lv, plan: plan})
 		}
@@ -120,7 +202,7 @@ func runFaultSweep(o Options) ([]Table, error) {
 	for i := range results {
 		results[i] = make([]simsync.FaultLockResult, len(infos))
 	}
-	err := forEachCell(true, len(rows)*len(infos), func(cell int, pool *machine.Pool) error {
+	err = forEachCell(true, len(rows)*len(infos), func(cell int, pool *machine.Pool) error {
 		ri, ci := cell/len(infos), cell%len(infos)
 		row := rows[ri]
 		res, rerr := simsync.RunLockFaulted(pool,
@@ -134,7 +216,7 @@ func runFaultSweep(o Options) ([]Table, error) {
 			return rerr
 		}
 		o.progressf("  %s %s %s: %s, %d/%d acq, %d timeouts, %d crashed\n",
-			row.tp.Name(), row.level.name, res.Lock, res.Outcome,
+			row.tp.Name(), row.level.Name, res.Lock, res.Outcome,
 			res.Acquisitions, uint64(iters)*uint64(procs), res.Timeouts, res.Crashed)
 		results[ri][ci] = res
 		return nil
@@ -161,7 +243,7 @@ func runFaultSweep(o Options) ([]Table, error) {
 	}
 	offered := uint64(iters) * uint64(procs)
 	for ri, row := range rows {
-		label := row.tp.Name() + "/" + row.level.name
+		label := row.tp.Name() + "/" + row.level.Name
 		r1 := []string{label}
 		r2 := []string{label}
 		for ci := range infos {

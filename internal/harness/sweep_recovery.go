@@ -1,0 +1,271 @@
+package harness
+
+// FT3 + FT4 — crash recovery and self-healing synchronization.
+//
+// FT1/FT2 established the fail-stop story: a crash wedges the blocking
+// disciplines and the bounded/lease ones degrade gracefully. These
+// sweeps extend the axis to crash-with-restart plans (the R levels) and
+// the self-healing primitives, reporting per cell:
+//
+//   - availability: operations completed as a fraction of the same
+//     (topology, discipline) cell's fault-free twin — a dedicated
+//     baseline run, so the measure survives -faults= selections that
+//     omit L0;
+//   - mean time-to-recovery (ttr): cycles from each rebirth to the
+//     reborn processor's first completed operation, averaged;
+//   - orphaned acquisitions (orph): reclaims from a dead or reborn
+//     holder — a protocol-level event the resilient locks make safe;
+//   - fenced writes (fenced): critical-section stores suppressed by the
+//     fencing-token check (lease-fence only).
+//
+// FT3's acceptance property: qheal (the excising queue lock) completes
+// its episodes at the crash levels where plain qsync wedges, with a
+// measured time-to-recovery; FT4's: the reconfigurable barrier keeps
+// completing episodes through crash and rebirth where the central
+// barrier stalls until the restart (fail-stop: forever).
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/simsync"
+	"repro/internal/topo"
+)
+
+// ftRecoveryDefaults is the FT3/FT4 axis: fault-free baseline, the
+// fail-stop crash level for contrast, then the restart plans.
+func (o Options) ftRecoveryDefaults() []string {
+	if o.Quick {
+		return []string{"L0", "R1"}
+	}
+	return []string{"L0", "L2", "R1", "R2"}
+}
+
+// recoveryLocks is the FT3 column set: the FT2 survivors (tas-deadline,
+// lease) next to the self-healing disciplines, with plain qsync as the
+// wedge baseline. Terms and graces mirror lease-ft: long enough that no
+// stall can trigger them, short enough that a crash does.
+func recoveryLocks() []simsync.LockInfo {
+	td, _ := simsync.LockByName("tas-deadline")
+	qs, _ := simsync.LockByName("qsync")
+	return []simsync.LockInfo{
+		qs,
+		td,
+		{Name: "lease-ft", Make: func(m *machine.Machine) simsync.Lock {
+			return simsync.NewLeaseTerm(m, 16000, 64)
+		}},
+		{Name: "fence-ft", Make: func(m *machine.Machine) simsync.Lock {
+			return simsync.NewLeaseFenceTerm(m, 16000, 64)
+		}},
+		{Name: "qheal-ft", FIFO: true, Make: func(m *machine.Machine) simsync.Lock {
+			// Grace 32768 >> any live head residence (CS + stall +
+			// hand-off), so only the failure detector — or a truly
+			// stuck head whose owner's suspicion already cleared at
+			// rebirth — triggers excision.
+			return simsync.NewHealQueueGrace(m, 32768, 64)
+		}},
+	}
+}
+
+// recoveryBarrier is one FT4 column.
+type recoveryBarrier struct {
+	name string
+	mk   func(m *machine.Machine) simsync.Barrier
+}
+
+func recoveryBarriers() []recoveryBarrier {
+	central, _ := simsync.BarrierByName("central")
+	return []recoveryBarrier{
+		{name: "central", mk: central.Make},
+		{name: "straggler", mk: func(m *machine.Machine) simsync.Barrier {
+			return simsync.NewStragglerBarrier(m, 4096)
+		}},
+		{name: "reconf", mk: func(m *machine.Machine) simsync.Barrier {
+			return simsync.NewReconfBudget(m, 4096)
+		}},
+	}
+}
+
+// recoveryCell renders the common cell shape: outcome, availability
+// against the fault-free twin, then whichever recovery metrics the run
+// produced.
+func recoveryCell(outcome simsync.Outcome, ops, baseline, recoveries uint64, recoveryCycles int64, orphaned, fenced uint64) string {
+	avail := 100.0
+	if baseline > 0 {
+		avail = 100 * float64(ops) / float64(baseline)
+	}
+	cell := fmt.Sprintf("%s %.0f%%", outcome, avail)
+	if recoveries > 0 {
+		cell += fmt.Sprintf(" ttr=%d", recoveryCycles/int64(recoveries))
+	}
+	if orphaned > 0 {
+		cell += fmt.Sprintf(" orph=%d", orphaned)
+	}
+	if fenced > 0 {
+		cell += fmt.Sprintf(" fenced=%d", fenced)
+	}
+	return cell
+}
+
+func runRecoverySweep(o Options) ([]Table, error) {
+	procs := 16
+	barProcs := 32
+	maxSteps := uint64(2_000_000)
+	iters := o.lockIters()
+	episodes := o.episodes()
+	if o.Quick {
+		procs = 8
+		barProcs = 8
+		maxSteps = 500_000
+	}
+	topos := o.axisTopos()
+	levels, err := o.faultAxis(o.ftRecoveryDefaults())
+	if err != nil {
+		return nil, err
+	}
+	locks := recoveryLocks()
+	bars := recoveryBarriers()
+
+	type rowKey struct {
+		tp    topo.Topology
+		level FaultLevel
+		plan  *fault.Plan // lock-sweep plan
+		bplan *fault.Plan // barrier-sweep plan (sized to barProcs)
+	}
+	var rows []rowKey
+	for ti, tp := range topos {
+		for li, lv := range levels {
+			plan, bplan := fault.NewPlan(lv.Name), fault.NewPlan(lv.Name)
+			if !lv.None {
+				seed := o.seed()*4096 + uint64(ti)*64 + uint64(li)
+				plan = fault.Generate(fmt.Sprintf("%s/%s", tp.Name(), lv.Name), seed, lv.Spec(procs, iters))
+				bplan = fault.Generate(fmt.Sprintf("%s/%s/bar", tp.Name(), lv.Name), seed+17, lv.Spec(barProcs, episodes))
+			}
+			rows = append(rows, rowKey{tp: tp, level: lv, plan: plan, bplan: bplan})
+		}
+	}
+
+	lockOpts := simsync.RecoveryLockOpts{
+		Iters: iters, CS: 25, Think: 50,
+		Budget:   4096,
+		MaxSteps: maxSteps,
+	}
+	barOpts := simsync.RecoveryBarrierOpts{Episodes: episodes, Work: 150, MaxSteps: maxSteps}
+	empty := fault.NewPlan("L0")
+
+	// Fault-free twins: one per (topology, column), the availability
+	// denominator for every level row of that topology.
+	lockBase := make([][]uint64, len(topos))
+	barBase := make([][]uint64, len(topos))
+	for i := range topos {
+		lockBase[i] = make([]uint64, len(locks))
+		barBase[i] = make([]uint64, len(bars))
+	}
+	err = forEachCell(true, len(topos)*(len(locks)+len(bars)), func(cell int, pool *machine.Pool) error {
+		per := len(locks) + len(bars)
+		ti, ci := cell/per, cell%per
+		if ci < len(locks) {
+			res, rerr := simsync.RunLockRecovery(pool,
+				machine.Config{Procs: procs, Topo: topos[ti], Seed: o.seed()},
+				locks[ci], empty, lockOpts)
+			if rerr != nil {
+				return rerr
+			}
+			lockBase[ti][ci] = res.Acquisitions
+			return nil
+		}
+		bi := ci - len(locks)
+		res, rerr := simsync.RunBarrierRecovery(pool,
+			machine.Config{Procs: barProcs, Topo: topos[ti], Seed: o.seed()},
+			bars[bi].name, bars[bi].mk, empty, barOpts)
+		if rerr != nil {
+			return rerr
+		}
+		barBase[ti][bi] = res.Episodes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lockRes := make([][]simsync.RecoveryLockResult, len(rows))
+	barRes := make([][]simsync.RecoveryBarrierResult, len(rows))
+	for i := range rows {
+		lockRes[i] = make([]simsync.RecoveryLockResult, len(locks))
+		barRes[i] = make([]simsync.RecoveryBarrierResult, len(bars))
+	}
+	err = forEachCell(true, len(rows)*(len(locks)+len(bars)), func(cell int, pool *machine.Pool) error {
+		per := len(locks) + len(bars)
+		ri, ci := cell/per, cell%per
+		row := rows[ri]
+		if ci < len(locks) {
+			res, rerr := simsync.RunLockRecovery(pool,
+				machine.Config{Procs: procs, Topo: row.tp, Seed: o.seed()},
+				locks[ci], row.plan, lockOpts)
+			if rerr != nil {
+				return rerr
+			}
+			o.progressf("  %s %s %s: %s, %d acq, %d orphaned, %d recovered\n",
+				row.tp.Name(), row.level.Name, res.Lock, res.Outcome,
+				res.Acquisitions, res.Orphaned, res.Recovered)
+			lockRes[ri][ci] = res
+			return nil
+		}
+		bi := ci - len(locks)
+		res, rerr := simsync.RunBarrierRecovery(pool,
+			machine.Config{Procs: barProcs, Topo: row.tp, Seed: o.seed()},
+			bars[bi].name, bars[bi].mk, row.bplan, barOpts)
+		if rerr != nil {
+			return rerr
+		}
+		o.progressf("  %s %s %s: %s, %d episodes, %d recovered\n",
+			row.tp.Name(), row.level.Name, res.Barrier, res.Outcome,
+			res.Episodes, res.Recovered)
+		barRes[ri][bi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lockCols := []string{"topo/level"}
+	for _, li := range locks {
+		lockCols = append(lockCols, li.Name)
+	}
+	barCols := []string{"topo/level"}
+	for _, b := range bars {
+		barCols = append(barCols, b.name)
+	}
+	ft3 := Table{
+		ID:    "FT3",
+		Title: fmt.Sprintf("Lock availability and time-to-recovery under crash-with-restart plans at P=%d", procs),
+		Note:  "outcome + completed ops vs fault-free twin; ttr = mean cycles from rebirth to first reacquisition, orph = reclaims from dead/reborn holders, fenced = stale CS writes suppressed; qsync wedges where qheal heals the queue",
+		Cols:  lockCols,
+	}
+	ft4 := Table{
+		ID:    "FT4",
+		Title: fmt.Sprintf("Barrier availability and time-to-recovery under crash-with-restart plans at P=%d", barProcs),
+		Note:  "outcome + completed episodes vs fault-free twin; central stalls every survivor until the restart (fail-stop: forever), reconf evicts the corpse and readmits it at rebirth",
+		Cols:  barCols,
+	}
+	for ri, row := range rows {
+		label := row.tp.Name() + "/" + row.level.Name
+		ti := ri / len(levels)
+		r3 := []string{label}
+		for ci := range locks {
+			res := lockRes[ri][ci]
+			r3 = append(r3, recoveryCell(res.Outcome, res.Acquisitions, lockBase[ti][ci],
+				res.Recoveries, int64(res.RecoveryCycles), res.Orphaned, res.StaleWrites))
+		}
+		ft3.Rows = append(ft3.Rows, r3)
+		r4 := []string{label}
+		for bi := range bars {
+			res := barRes[ri][bi]
+			r4 = append(r4, recoveryCell(res.Outcome, res.Episodes, barBase[ti][bi],
+				res.Recoveries, int64(res.RecoveryCycles), 0, 0))
+		}
+		ft4.Rows = append(ft4.Rows, r4)
+	}
+	return []Table{ft3, ft4}, nil
+}

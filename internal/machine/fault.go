@@ -37,8 +37,23 @@ import (
 //     dropped on delivery and its goroutine unwinds at teardown. The
 //     pending EvFault also bounds every processor's inline lookahead,
 //     so no operation of p completes at or after t — words p holds at
-//     the crash stay held forever, which is the behavior the robust
-//     primitives are measured against.
+//     the crash stay held, which is the behavior the robust primitives
+//     are measured against.
+//   - Restart of processor p at time r: the EvFault delivery arms an
+//     EvRecover at r (only when the crash materialized, so crashes
+//     drawn past the run's natural end stay inert together with their
+//     restarts). The EvRecover delivery purges p's stale wakeups,
+//     resets its proc-local state, re-derives its RNG stream, and
+//     re-enters its program body at the recovery entry point. Nothing
+//     is released on p's behalf. A processor crashes at most once and
+//     recovers at most once per run: the compile keeps the earliest
+//     crash and the earliest restart strictly after it.
+//   - The heartbeat failure detector is compiled here too: processor p
+//     is suspected from crash+threshold until its restart (forever,
+//     failing one), and a stall longer than the threshold reads as a
+//     false positive for its remainder. Suspicion is pure compiled
+//     data — queries (Proc.Suspects) draw nothing and cost nothing, so
+//     the detector cannot perturb timing or the window A/B contract.
 //   - Degrade [start, end) of module m by factor f: the network
 //     traversal term of every access serviced by m and issued in the
 //     window is scaled by f (module topologies only; the local-memory
@@ -55,25 +70,34 @@ type faultSpan struct {
 // of faults per run), so point queries scan linearly; only nextBound,
 // consulted per window attempt, binary-searches.
 type machineFaults struct {
-	stalls   [][]faultSpan // per processor: sorted, merged, disjoint
-	crashAt  []sim.Time    // per processor: earliest crash instant, or -1
-	degrades [][]faultSpan // per module: sorted by start (largest covering factor wins)
-	active   []faultSpan   // union of all stall+degrade intervals, merged
-	bounds   []sim.Time    // sorted, deduped: every interval endpoint and crash instant
+	stalls    [][]faultSpan // per processor: sorted, merged, disjoint
+	crashAt   []sim.Time    // per processor: earliest crash instant, or -1
+	restartAt []sim.Time    // per processor: earliest restart after the crash, or -1
+	degrades  [][]faultSpan // per module: sorted by start (largest covering factor wins)
+	suspect   [][]faultSpan // per processor: failure-detector suspicion intervals
+	active    []faultSpan   // union of all stall+degrade intervals, merged
+	bounds    []sim.Time    // sorted, deduped: every interval endpoint and crash/restart instant
 }
+
+// suspectForever stands in for an open-ended suspicion interval (a
+// crash with no restart); no run reaches this instant.
+const suspectForever = sim.Time(1) << 62
 
 // compileFaults builds the per-machine tables. Entries that do not
 // apply to this shape — indices out of range, empty intervals,
 // factors <= 1, negative times — are skipped, so one plan is portable
 // across machine sizes.
-func compileFaults(p *fault.Plan, procs, modules int) *machineFaults {
+func compileFaults(p *fault.Plan, procs, modules int, suspectAfter sim.Time) *machineFaults {
 	f := &machineFaults{
-		stalls:   make([][]faultSpan, procs),
-		crashAt:  make([]sim.Time, procs),
-		degrades: make([][]faultSpan, modules),
+		stalls:    make([][]faultSpan, procs),
+		crashAt:   make([]sim.Time, procs),
+		restartAt: make([]sim.Time, procs),
+		degrades:  make([][]faultSpan, modules),
+		suspect:   make([][]faultSpan, procs),
 	}
 	for i := range f.crashAt {
 		f.crashAt[i] = -1
+		f.restartAt[i] = -1
 	}
 	var raw []faultSpan
 	var bounds []sim.Time
@@ -94,6 +118,27 @@ func compileFaults(p *fault.Plan, procs, modules int) *machineFaults {
 		}
 		bounds = append(bounds, c.At)
 	}
+	for _, r := range p.Restarts() {
+		// A restart is live only when this shape also crashes the same
+		// processor earlier; the earliest qualifying restart wins. The
+		// instant joins bounds like any other fault boundary, so spin
+		// batches and windows clamp to it.
+		if r.Proc < 0 || r.Proc >= procs || r.At < 0 {
+			continue
+		}
+		c := f.crashAt[r.Proc]
+		if c < 0 || r.At <= c {
+			continue
+		}
+		if f.restartAt[r.Proc] < 0 || r.At < f.restartAt[r.Proc] {
+			f.restartAt[r.Proc] = r.At
+		}
+	}
+	for _, at := range f.restartAt {
+		if at >= 0 {
+			bounds = append(bounds, at)
+		}
+	}
 	for _, d := range p.Degrades() {
 		if d.Module < 0 || d.Module >= modules || d.Start < 0 || d.End <= d.Start || d.Factor <= 1 {
 			continue
@@ -104,6 +149,33 @@ func compileFaults(p *fault.Plan, procs, modules int) *machineFaults {
 	}
 	for i := range f.stalls {
 		f.stalls[i] = mergeSpans(f.stalls[i])
+	}
+	if suspectAfter > 0 {
+		// Compile the heartbeat failure detector's suspicion intervals.
+		// A processor silent for suspectAfter cycles is suspected: a
+		// crash from crash+threshold until its restart (forever without
+		// one), and any single stall longer than the threshold from
+		// stall-start+threshold until the stall ends — the detector's
+		// honest false-positive mode. Suspicion intervals do not join
+		// bounds: they gate no event timing, only Suspects queries.
+		for i := range f.suspect {
+			var spans []faultSpan
+			if c := f.crashAt[i]; c >= 0 {
+				end := suspectForever
+				if f.restartAt[i] >= 0 {
+					end = f.restartAt[i]
+				}
+				if c+suspectAfter < end {
+					spans = append(spans, faultSpan{start: c + suspectAfter, end: end})
+				}
+			}
+			for _, s := range f.stalls[i] {
+				if s.end-s.start > suspectAfter {
+					spans = append(spans, faultSpan{start: s.start + suspectAfter, end: s.end})
+				}
+			}
+			f.suspect[i] = mergeSpans(spans)
+		}
 	}
 	for i := range f.degrades {
 		sort.Slice(f.degrades[i], func(a, b int) bool {
@@ -204,7 +276,33 @@ func (f *machineFaults) nextBound(t sim.Time) (sim.Time, bool) {
 	return f.bounds[i], true
 }
 
-// Crashed reports whether processor i has crashed in the current run.
-// Host-side harness code uses it to tell a dead lock holder from a
-// mutual-exclusion violation.
+// Crashed reports whether processor i is crashed right now (a reborn
+// processor no longer is). Host-side harness code uses it to tell a
+// dead lock holder from a mutual-exclusion violation.
 func (m *Machine) Crashed(i int) bool { return m.procs[i].crashed }
+
+// Incarnation returns how many times processor i has been reborn: 0
+// for a processor that never recovered from a crash, 1 after its
+// revival. Harness code records the incarnation a value was written
+// under, so a reclaim from a holder that has since died AND recovered
+// is still recognizable as a takeover rather than a violation.
+func (m *Machine) Incarnation(i int) int { return m.procs[i].incarnation }
+
+// SuspectedAt reports whether the deterministic heartbeat failure
+// detector suspects processor q dead at time t. Pure table lookup over
+// the compiled plan — see Proc.Suspects for the model and the
+// determinism argument.
+func (m *Machine) SuspectedAt(q int, t sim.Time) bool {
+	if m.flt == nil {
+		return false
+	}
+	for _, s := range m.flt.suspect[q] {
+		if s.start > t {
+			return false
+		}
+		if t < s.end {
+			return true
+		}
+	}
+	return false
+}

@@ -31,6 +31,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/fault"
@@ -95,11 +96,18 @@ type Config struct {
 	Placement topo.Placement
 
 	// Faults attaches a deterministic fault plan (processor stalls,
-	// permanent crashes, module degradation; see internal/fault and
+	// crashes and restarts, module degradation; see internal/fault and
 	// fault.go in this package). Nil means a fault-free machine with
 	// behavior bit-identical to builds predating fault support. The
 	// plan is treated as read-only and may be shared across machines.
 	Faults *fault.Plan
+
+	// SuspectAfter is the heartbeat failure detector's suspicion
+	// threshold in cycles (default 2000): a processor silent that long
+	// is suspected dead until it speaks again. The detector is compiled
+	// from the fault plan, so queries (Proc.Suspects) are table lookups
+	// with zero timing or RNG effect. Negative disables the detector.
+	SuspectAfter sim.Time
 }
 
 // Defaults fills in zero fields and returns the completed config.
@@ -136,6 +144,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.SuspectAfter == 0 {
+		// Above every stall the standard fault sweeps draw (their
+		// StallMax is 2000), so only genuine crashes trip the detector
+		// by default; shorten it deliberately to study false positives.
+		c.SuspectAfter = 2000
 	}
 	return c
 }
@@ -250,6 +264,10 @@ type Machine struct {
 
 	procs []*Proc
 	live  int
+	// reviving counts crashed processors with a pending EvRecover: the
+	// run must not terminate at live==0 while a rebirth is armed, or
+	// the recovered processor would never get to run.
+	reviving int
 
 	// flt is the compiled fault plan (fault.go), nil on fault-free
 	// machines — every fault query site guards on that nil, so the
@@ -365,17 +383,20 @@ func (m *Machine) Reset(cfg Config) error {
 		p.spin = spinState{}
 		p.finished = false
 		p.crashed = false
+		p.incarnation = 0
+		p.reincarnate = false
 		p.blockedOn = ""
 		p.blockedAddr = 0
 		p.stats = ProcStats{}
 	}
 	m.live = 0
+	m.reviving = 0
 
 	m.flt = nil
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		// Compiling per Reset keeps the plan portable across machine
 		// shapes; the compile allocates, but only faulted configs pay it.
-		m.flt = compileFaults(cfg.Faults, cfg.Procs, m.topo.Modules(cfg.Procs))
+		m.flt = compileFaults(cfg.Faults, cfg.Procs, m.topo.Modules(cfg.Procs), cfg.SuspectAfter)
 	}
 
 	m.nextShared = 0
@@ -610,8 +631,15 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 				m.live--
 				m.drive(proc)
 			}()
-			proc.waitBaton() // parked until the engine dispatches us at t=0
-			body(proc)
+			// Crash recovery re-enters the body: each revival unwinds the
+			// dead incarnation's stack with the reincarnate sentinel and
+			// restarts the program at the recovery entry point — the top
+			// of the body — holding the baton (the EvRecover delivery
+			// handed it over), so only the first incarnation waits.
+			wait := true
+			for runBody(proc, body, wait) {
+				wait = false
+			}
 			// The body may have finished ahead of the engine clock on the
 			// inline fast path; drain that run-ahead through one event so
 			// the final Cycles count is exact.
@@ -657,12 +685,13 @@ func (m *Machine) RunEach(bodies []func(p *Proc)) error {
 // exit, while a live p parks for teardown.
 func (m *Machine) drive(p *Proc) {
 	for {
-		if m.live == 0 {
+		if m.live == 0 && m.reviving == 0 {
 			// Nothing left that can run: every processor finished or
-			// crashed. Don't drain the stale remainder of the queue —
-			// popping a crash or deferred wakeup scheduled beyond the
-			// last real event would advance the clock and inflate the
-			// run's Cycles past the end of the actual computation.
+			// crashed with no rebirth armed. Don't drain the stale
+			// remainder of the queue — popping a crash or deferred
+			// wakeup scheduled beyond the last real event would advance
+			// the clock and inflate the run's Cycles past the end of the
+			// actual computation.
 			m.done <- nil
 			m.parkOrExit(p)
 			return
@@ -733,18 +762,50 @@ func (m *Machine) drive(p *Proc) {
 			m.spinStreak = 0
 			q = s // spin satisfied: resume the program at s.localNow
 		case sim.EvFault:
-			// Materialize a permanent processor crash. The processor's
-			// live count is surrendered here; its pending events are
-			// dropped on delivery above, its goroutine unwinds at
-			// teardown, and any word it holds stays held forever.
+			// Materialize a processor crash. The processor's live count
+			// is surrendered here; its pending events are dropped on
+			// delivery above, and any word it holds stays held. Without
+			// a restart the crash is permanent and the goroutine unwinds
+			// at teardown; with one, the rebirth is armed here — only
+			// when the crash actually materialized, so a crash drawn
+			// past the run's natural end never drags a recovery (or the
+			// stale queue remainder) into the run either.
 			m.spinStreak = 0
 			r := m.procs[arg0]
 			if !r.finished && !r.crashed {
 				r.crashed = true
 				m.live--
 				m.setWinMask(r.id, false)
+				if at := m.flt.restartAt[arg0]; at >= 0 {
+					m.eng.AtEvent(at, sim.EvRecover, arg0, 0)
+					m.reviving++
+				}
 			}
 			continue
+		case sim.EvRecover:
+			// Rebirth a crashed processor at the recovery entry point.
+			// Nothing is released on its behalf — words the dead
+			// incarnation held stay held; reclaiming them is the
+			// protocol's problem — but all proc-local machine state
+			// (spin machinery, watch registration, pending wakeups, the
+			// derived RNG stream) resets as at boot.
+			m.spinStreak = 0
+			m.reviving--
+			r := m.procs[arg0]
+			if r.finished || !r.crashed {
+				continue
+			}
+			m.revive(r)
+			if r == p {
+				// We ARE the revived processor's goroutine: the crash
+				// landed while it held the baton (parked inside its own
+				// drive call). Unwind the dead incarnation's stack
+				// straight into the recovery entry; runBody keeps the
+				// baton and re-enters the program.
+				panic(reincarnateSentinel)
+			}
+			r.reincarnate = true
+			q = r // hand the baton to the reborn processor
 		default:
 			m.spinStreak = 0
 			continue // closure event, already run in place
@@ -770,36 +831,176 @@ func (m *Machine) parkOrExit(p *Proc) {
 	}
 }
 
+// runBody runs one incarnation of a processor's program, reporting
+// whether the processor was reborn mid-body. A revival unwinds the
+// dead incarnation's stack with the reincarnate sentinel — thrown from
+// waitBaton when the baton wake is a rebirth, or from the drive loop
+// directly when the crashed processor itself popped its EvRecover —
+// and the caller restarts the body at the recovery entry point.
+func runBody(p *Proc, body func(*Proc), wait bool) (reborn bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == reincarnateSentinel {
+				reborn = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if wait {
+		p.waitBaton() // parked until the engine dispatches us at t=0
+	}
+	body(p)
+	return false
+}
+
+// revive resets a crashed processor's machine-local state to its boot
+// value at the current instant. The dead incarnation's pending wakeups
+// (EvDispatch/EvSpin addressed to it) are purged so they cannot fire
+// into the reborn program, its watcher registration is unlinked, and
+// its RNG stream is re-derived from the machine seed — a reborn
+// processor draws exactly what its first incarnation drew, which keeps
+// recovery runs bit-identical without any extra seed plumbing. The
+// per-processor stats are NOT reset: they are physical counters of
+// what the hardware did, and they stay deterministic across rebirths.
+func (m *Machine) revive(r *Proc) {
+	pid := int32(r.id)
+	m.eng.PurgePending(func(ev sim.PendingEvent) bool {
+		return ev.Arg0 == pid && (ev.Kind == sim.EvDispatch || ev.Kind == sim.EvSpin)
+	})
+	if r.spin.active {
+		m.watchUnlink(r.spin.addr, r.id)
+	}
+	r.spin = spinState{}
+	r.watchNext = 0
+	r.blockedOn = ""
+	r.blockedAddr = 0
+	r.crashed = false
+	r.localNow = m.eng.Now()
+	m.rng.DeriveInto(uint64(r.id), r.rng)
+	r.incarnation++
+	m.live++
+}
+
+// watchUnlink removes processor pid from the intrusive watcher list of
+// addr, if registered. Only recovery calls it (normal wakeups consume
+// the whole list), so the linear walk is off every hot path.
+func (m *Machine) watchUnlink(a Addr, pid int) {
+	link := m.watchHead[a]
+	prev := int32(0)
+	for link != 0 {
+		next := m.procs[link-1].watchNext
+		if int(link-1) == pid {
+			if prev == 0 {
+				m.watchHead[a] = next
+			} else {
+				m.procs[prev-1].watchNext = next
+			}
+			if m.watchTail[a] == link {
+				m.watchTail[a] = prev
+			}
+			m.procs[link-1].watchNext = 0
+			return
+		}
+		prev = link
+		link = next
+	}
+}
+
 // ErrDeadlock marks a run that ended with live processors blocked and
 // no pending events. Fault-tolerant harness runners match it (with
 // errors.Is) to report a degraded cell — e.g. survivors blocked forever
 // on a word a crashed processor holds — instead of failing a sweep.
 var ErrDeadlock = errors.New("deadlock")
 
+// BlockedProc is one live-but-stuck processor in a DeadlockError: what
+// it was blocked on ("watch", "delay", ...) and, for watch waits, the
+// address it was parked under.
+type BlockedProc struct {
+	Proc int
+	On   string
+	Addr Addr // valid when On == "watch"
+}
+
+// WatchedWord is one contended word in a DeadlockError: its value at
+// the wedge and the live processors parked watching it, in FIFO
+// registration order. The value is usually the smoking gun — a lock
+// word still carrying a dead processor's claim tells the reader which
+// crash orphaned it.
+type WatchedWord struct {
+	Addr     Addr
+	Value    Word
+	Watchers []int
+}
+
+// DeadlockError is the detail behind ErrDeadlock: which processors
+// were blocked on what, which processors were dead at the wedge, and
+// every watched word with its value and watcher set — enough to read a
+// fault-table failure from the error string alone. It unwraps to
+// ErrDeadlock, so existing errors.Is call sites are unaffected.
+type DeadlockError struct {
+	At      sim.Time
+	Live    int
+	Blocked []BlockedProc
+	Crashed []int // processors dead at the wedge (never recovered)
+	Words   []WatchedWord
+}
+
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: deadlock at t=%d with %d processors blocked: ", e.At, e.Live)
+	for i, bp := range e.Blocked {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if bp.On == "watch" {
+			fmt.Fprintf(&b, "P%d(watch@%d)", bp.Proc, bp.Addr)
+		} else {
+			fmt.Fprintf(&b, "P%d(%s)", bp.Proc, bp.On)
+		}
+	}
+	if len(e.Crashed) > 0 {
+		fmt.Fprintf(&b, " (%d crashed:", len(e.Crashed))
+		for _, id := range e.Crashed {
+			fmt.Fprintf(&b, " P%d", id)
+		}
+		b.WriteString(")")
+	}
+	for _, w := range e.Words {
+		fmt.Fprintf(&b, "; word[%d]=%d watched by", w.Addr, w.Value)
+		for _, id := range w.Watchers {
+			fmt.Fprintf(&b, " P%d", id)
+		}
+	}
+	return b.String()
+}
+
 func (m *Machine) deadlockError() error {
-	blocked := ""
-	crashed := 0
+	de := &DeadlockError{At: m.eng.Now(), Live: m.live}
+	var order []Addr
+	watchers := make(map[Addr][]int)
 	for _, p := range m.procs {
 		if p.crashed {
-			crashed++
+			de.Crashed = append(de.Crashed, p.id)
 			continue // a dead processor is not blocked; it is gone
 		}
-		if !p.finished {
-			if blocked != "" {
-				blocked += ", "
+		if p.finished {
+			continue
+		}
+		de.Blocked = append(de.Blocked, BlockedProc{Proc: p.id, On: p.blockedOn, Addr: p.blockedAddr})
+		if p.blockedOn == "watch" {
+			if _, seen := watchers[p.blockedAddr]; !seen {
+				order = append(order, p.blockedAddr)
 			}
-			why := p.blockedOn
-			if why == "watch" {
-				why = fmt.Sprintf("watch@%d", p.blockedAddr)
-			}
-			blocked += fmt.Sprintf("P%d(%s)", p.id, why)
+			watchers[p.blockedAddr] = append(watchers[p.blockedAddr], p.id)
 		}
 	}
-	suffix := ""
-	if crashed > 0 {
-		suffix = fmt.Sprintf(" (%d crashed)", crashed)
+	for _, a := range order {
+		de.Words = append(de.Words, WatchedWord{Addr: a, Value: m.mem[a], Watchers: watchers[a]})
 	}
-	return fmt.Errorf("machine: %w at t=%d with %d processors blocked: %s%s", ErrDeadlock, m.eng.Now(), m.live, blocked, suffix)
+	return de
 }
 
 // wakeWatchers schedules every processor watching addr to re-check at
@@ -828,4 +1029,7 @@ func (m *Machine) wakeWatchers(a Addr, at sim.Time) {
 	}
 }
 
-var abortSentinel = new(int)
+var (
+	abortSentinel       = new(int)
+	reincarnateSentinel = new(int)
+)

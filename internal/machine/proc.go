@@ -45,10 +45,22 @@ type Proc struct {
 	spin spinState
 
 	finished bool
-	// crashed marks a processor permanently removed by a fault plan
-	// (fault.go): its events are dropped, its goroutine unwinds at
-	// teardown, and the words it holds are never released.
-	crashed     bool
+	// crashed marks a processor removed by a fault plan (fault.go): its
+	// events are dropped and the words it holds are never released. A
+	// plan without a matching restart leaves it crashed forever (its
+	// goroutine unwinds at teardown); with one, the drive loop revives
+	// it at the restart instant and the goroutine re-enters the body.
+	crashed bool
+	// incarnation counts rebirths: 0 until the processor recovers from
+	// a crash, then incremented per revival. Harness code pairs it with
+	// Crashed to tell a takeover from a dead-or-reborn holder apart
+	// from a mutual-exclusion violation.
+	incarnation int
+	// reincarnate tells waitBaton the wake it just got is a revival:
+	// instead of resuming the dead incarnation's program mid-operation,
+	// the goroutine unwinds to the recovery entry point (the top of the
+	// body) via the reincarnate sentinel.
+	reincarnate bool
 	blockedOn   string // static tag for deadlock reports; never formatted on the hot path
 	blockedAddr Addr   // address detail when blockedOn == "watch"
 
@@ -76,7 +88,23 @@ func (p *Proc) waitBaton() {
 	if p.m.tearingDown {
 		panic(abortSentinel)
 	}
+	if p.reincarnate {
+		p.reincarnate = false
+		panic(reincarnateSentinel)
+	}
 }
+
+// Suspects asks the deterministic heartbeat failure detector whether
+// processor q is suspected dead as of this processor's local clock.
+// The detector is compiled from the fault plan (fault.go): suspicion
+// follows q's heartbeats with a fixed threshold, so a crash is
+// suspected Config.SuspectAfter cycles after it happens, the suspicion
+// clears at q's restart, and a stall longer than the threshold shows
+// up as a false positive for its duration. The query costs no cycles,
+// no traffic, and no RNG draws — the model is a hardware-maintained
+// local lease table — so algorithms may consult it freely without
+// perturbing timing, and the A/B window contract is unaffected.
+func (p *Proc) Suspects(q int) bool { return p.m.SuspectedAt(q, p.localNow) }
 
 // complete finishes an operation that costs lat cycles. Fast path: when
 // every pending engine event is strictly later than the completion time,

@@ -50,6 +50,14 @@ const (
 	// every spin window's horizon exactly like any other event, which is
 	// what keeps faulted runs bit-identical across execution paths.
 	EvFault
+	// EvRecover rebirths a crashed processor; arg0 is the processor
+	// index. The simulation layer re-registers the processor at its
+	// recovery entry point with reset local state — nothing the dead
+	// incarnation held is released. Like EvFault, a pending EvRecover
+	// is an ordinary queue entry: it bounds inline run-ahead and window
+	// horizons exactly like any other event, so crash-recovery runs
+	// keep the windows on/off bit-identity contract.
+	EvRecover
 )
 
 // Handler consumes typed events. A single handler is installed by the
@@ -225,6 +233,43 @@ type PendingEvent struct {
 func (e *Engine) PendingAt(i int) PendingEvent {
 	ev := &e.events[i]
 	return PendingEvent{When: ev.when, Seq: ev.seq, Kind: ev.kind, Arg0: ev.arg0, Arg1: ev.arg1}
+}
+
+// PurgePending removes every pending typed event for which match
+// returns true and restores queue order; it returns how many were
+// removed. Closure events (EvFunc) are never offered to match — the
+// purge targets typed per-processor events, which is what the machine
+// layer needs to drop a reborn processor's stale wakeups at recovery.
+// Survivors keep their (when, seq) keys, so pop order among them is
+// unchanged, and no counter (steps, work, seq) moves: a purge is pure
+// queue surgery, observable only through the events that no longer
+// fire.
+func (e *Engine) PurgePending(match func(PendingEvent) bool) int {
+	kept := e.events[:0]
+	removed := 0
+	for i := range e.events {
+		ev := e.events[i]
+		if ev.fn == nil && match(PendingEvent{When: ev.when, Seq: ev.seq, Kind: ev.kind, Arg0: ev.arg0, Arg1: ev.arg1}) {
+			removed++
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	if removed == 0 {
+		return 0
+	}
+	// Clear the abandoned tail: survivors were copied down, and the
+	// stale copies could pin closure references against the GC.
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = event{}
+	}
+	e.events = kept
+	if e.linear {
+		e.rescanMin()
+	} else {
+		e.heapify()
+	}
+	return removed
 }
 
 // WindowEvent is one window-candidate event collected by ScanWindow:

@@ -1,0 +1,443 @@
+package simsync
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Crash-recovery determinism and self-healing behavior. The recovery
+// seam (EvRecover, rebirth, the failure detector) must preserve the
+// whole determinism contract — run twice bit-identical, windows on/off
+// A/B identical — and the self-healing primitives must actually heal:
+// qheal completes the workload that wedges plain qsync, and lease-fence
+// suppresses a usurped holder's stale writes.
+
+// recoveryPlanFor extends the stall+degrade determinism plan with a
+// crash-at-zero + restart of the last processor. Crashing at t=0 keeps
+// every blocking family runnable: the victim holds nothing and has done
+// nothing, so its rebirth replays the full body once and all workload
+// invariants (mutex checks, item totals) stay exact, while the run
+// still exercises the full revival path (event purge, RNG re-derive,
+// re-entry) under every family and topology.
+func recoveryPlanFor(tp topo.Topology, procs int) *fault.Plan {
+	return faultPlanFor(tp, procs).
+		WithCrash(procs-1, 0).
+		WithRestart(procs-1, 5000)
+}
+
+func TestRecoveryDeterminismLocks(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := recoveryPlanFor(tp, procs)
+		for _, info := range Locks() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/recovery", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunLock(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestRecoveryDeterminismBarriers(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := recoveryPlanFor(tp, procs)
+		for _, info := range Barriers() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/recovery", tp.Name(), info.Name, procs)
+			if info.Name == "reconf" {
+				// reconf evicts the crashed processor and completes
+				// episodes without it — correct under this plan, but the
+				// fault-free runner's all-arrive check reads that as an
+				// early release. Assert its determinism contract through
+				// the crash-aware runner instead.
+				assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+					res, err := RunBarrierRecovery(nil,
+						machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows},
+						info.Name, func(m *machine.Machine) Barrier { return info.Make(m) },
+						plan, RecoveryBarrierOpts{Episodes: 10, Work: 150, MaxSteps: 2_000_000})
+					if err == nil && res.Outcome != OutcomeOK {
+						err = fmt.Errorf("reconf under recovery plan: outcome %v", res.Outcome)
+					}
+					return res.Stats, err
+				})
+				continue
+			}
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunBarrier(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, BarrierOpts{Episodes: 10, Work: 150})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestRecoveryDeterminismRWLocks(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := recoveryPlanFor(tp, procs)
+		for _, info := range RWLocks() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/recovery", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunRW(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestRecoveryDeterminismSemaphores(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := recoveryPlanFor(tp, procs)
+		for _, info := range Semaphores() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/recovery", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunProducerConsumer(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+func TestRecoveryDeterminismCounters(t *testing.T) {
+	forEachConfig(t, func(tp topo.Topology, procs int) {
+		plan := recoveryPlanFor(tp, procs)
+		for _, info := range Counters() {
+			info := info
+			name := fmt.Sprintf("%s/%s/P%d/recovery", tp.Name(), info.Name, procs)
+			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+				res, err := RunCounter(
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					info, CounterOpts{Incs: 30, Think: 20})
+				return res.Stats, err
+			})
+		}
+	})
+}
+
+// TestRecoveryDeterminismMidRunCrash covers the hard case: a processor
+// crashes mid-workload — possibly inside the critical section — and is
+// reborn later. The full RecoveryLockResult (outcome, orphan and
+// timeout counts, time-to-recovery) must be bit-identical across repeat
+// runs and the windows A/B switch, for resilient and non-resilient
+// locks alike (a wedged tas run is data too, and must wedge
+// identically).
+func TestRecoveryDeterminismMidRunCrash(t *testing.T) {
+	locks := []string{"tas", "tas-deadline", "lease", "lease-fence", "qheal"}
+	for _, tp := range []topo.Topology{topo.Bus, topo.NUMA} {
+		for _, procs := range []int{4, 8} {
+			plan := fault.NewPlan(fmt.Sprintf("recover/%s/P%d", tp.Name(), procs)).
+				WithStall(0, 300, 900).
+				WithCrash(procs-1, 700).
+				WithRestart(procs-1, 6000)
+			for _, lk := range locks {
+				info := mustLock(t, lk)
+				name := fmt.Sprintf("%s/%s/P%d/midrun", tp.Name(), lk, procs)
+				opts := RecoveryLockOpts{Iters: 8, CS: 25, Think: 50, Budget: 2048, MaxSteps: 500_000}
+				measure := func(noWindows bool) (RecoveryLockResult, error) {
+					return RunLockRecovery(nil,
+						machine.Config{Procs: procs, Topo: tp, Seed: 11, NoSpinWindows: noWindows},
+						info, plan, opts)
+				}
+				a, err := measure(false)
+				if err != nil {
+					t.Fatalf("%s: first run: %v", name, err)
+				}
+				b, err := measure(false)
+				if err != nil {
+					t.Fatalf("%s: second run: %v", name, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("%s: runs diverged:\n  first:  %+v\n  second: %+v", name, a, b)
+				}
+				c, err := measure(true)
+				if err != nil {
+					t.Fatalf("%s: windows-off run: %v", name, err)
+				}
+				if c.Stats.WindowOps != 0 {
+					t.Fatalf("%s: NoSpinWindows run still batched %d window ops", name, c.Stats.WindowOps)
+				}
+				a.Stats.WindowOps = 0
+				if !reflect.DeepEqual(a, c) {
+					t.Errorf("%s: window batching changed results:\n  on:  %+v\n  off: %+v", name, a, c)
+				}
+				if a.Crashed != 1 {
+					t.Errorf("%s: plan crashes one processor, run reports %d", name, a.Crashed)
+				}
+			}
+		}
+	}
+}
+
+// TestHealQueueCompletesWhereQSyncWedges is the FT3 acceptance property
+// in miniature: under a crash-with-restart plan that kills a processor
+// while it is holding or queued on the lock (Think=0 keeps every
+// processor contending), plain qsync wedges forever — the hand-off
+// chain dies with the corpse — while qheal excises the dead ticket once
+// the failure detector fires and completes the whole workload,
+// measuring the reborn processor's time back to useful work.
+func TestHealQueueCompletesWhereQSyncWedges(t *testing.T) {
+	cfg := machine.Config{Procs: 8, Topo: topo.Bus, Seed: 17}
+	opts := RecoveryLockOpts{Iters: 8, CS: 25, Think: 0, MaxSteps: 2_000_000}
+
+	// A crash instant can land between the victim's memory operations
+	// (the enqueue RMW is simply cut off and the queue never contains
+	// the corpse), so scan a few instants for one that kills the victim
+	// while it is actually holding or queued — where qsync wedges.
+	var plan *fault.Plan
+	for at := sim.Time(500); at <= 1200; at += 37 {
+		cand := fault.NewPlan(fmt.Sprintf("heal/crash@%d", at)).
+			WithCrash(0, at).
+			WithRestart(0, 9000)
+		qs, err := RunLockRecovery(nil, cfg, mustLock(t, "qsync"), cand, opts)
+		if err != nil {
+			t.Fatalf("qsync under crash@%d: %v", at, err)
+		}
+		if qs.Outcome != OutcomeOK {
+			plan = cand
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no crash instant wedged qsync; the failure mode this test measures is gone")
+	}
+
+	healInfo := LockInfo{Name: "qheal-ft", FIFO: true, Make: func(m *machine.Machine) Lock {
+		return NewHealQueueGrace(m, 1<<40, 64) // detector-only healing: no grace backstop
+	}}
+	heal, err := RunLockRecovery(nil, cfg, healInfo, plan, opts)
+	if err != nil {
+		t.Fatalf("qheal: %v", err)
+	}
+	if heal.Outcome != OutcomeOK {
+		t.Fatalf("qheal did not complete: %+v", heal)
+	}
+	if heal.Recovered != 1 || heal.Crashed != 1 {
+		t.Errorf("qheal: want 1 crashed + 1 recovered, got %d/%d", heal.Crashed, heal.Recovered)
+	}
+	if heal.Recoveries != 1 || heal.RecoveryCycles <= 0 {
+		t.Errorf("qheal: time-to-recovery not measured: recoveries=%d cycles=%d",
+			heal.Recoveries, heal.RecoveryCycles)
+	}
+	// At-least-once across incarnations: an acquisition the victim
+	// completed but crashed before finishing its iteration is redone by
+	// the rebirth, so the count can exceed the quota but never trail it.
+	if heal.Acquisitions < uint64(cfg.Procs*opts.Iters) {
+		t.Errorf("qheal: want >= %d acquisitions, got %d", cfg.Procs*opts.Iters, heal.Acquisitions)
+	}
+}
+
+// TestHealQueueExcisesDeadTicket drives qheal directly and checks the
+// healing counters: the dead processor's ticket is excised once the
+// detector suspects it, and a live waiter whose ticket was excised
+// from under it by a false positive (a stall longer than the suspicion
+// threshold while queued) detects the excision and re-enqueues with a
+// fresh ticket.
+func TestHealQueueExcisesDeadTicket(t *testing.T) {
+	plan := fault.NewPlan("heal/excise").
+		WithCrash(0, 700).
+		WithRestart(0, 9000).
+		// Long enough past SuspectAfter (2000) to read as a false
+		// positive: processor 1's queued ticket gets excised while it
+		// sleeps, forcing the requeue path when it wakes.
+		WithStall(1, 1000, 4000)
+	m, err := machine.New(machine.Config{Procs: 4, Topo: topo.Bus, Seed: 23, Faults: plan, MaxSteps: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk := NewHealQueueGrace(m, 1<<40, 64).(*healQueueLock)
+	count := m.AllocShared(1)
+	if err := m.Run(func(p *machine.Proc) {
+		for i := 0; i < 6; i++ {
+			lk.Acquire(p)
+			p.Store(count, p.Load(count)+1)
+			p.Delay(25)
+			lk.Release(p)
+		}
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if lk.Excisions() == 0 {
+		t.Error("no dead ticket was excised")
+	}
+	if lk.Requeues() == 0 {
+		t.Error("no excised live waiter ever re-enqueued")
+	}
+}
+
+// TestLeaseFenceSuppressesStaleWrites exercises the fencing token
+// discipline without any fault plan at all: a holder whose lease
+// expires mid-critical-section is usurped by a live waiter, and the
+// zombie's guarded write must be suppressed and counted while the
+// usurper's goes through.
+func TestLeaseFenceSuppressesStaleWrites(t *testing.T) {
+	run := func() (staleBlocked, freshOK bool, l *fenceLock) {
+		m, err := machine.New(machine.Config{Procs: 2, Topo: topo.Bus, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = NewLeaseFenceTerm(m, 500, 16).(*fenceLock)
+		data := m.AllocShared(1)
+		if err := m.Run(func(p *machine.Proc) {
+			if p.ID() == 0 {
+				l.Acquire(p)
+				p.Delay(2000) // sleep through our own lease
+				staleBlocked = !l.GuardedStore(p, data, 1)
+				l.Release(p) // usurped: must be a no-op
+			} else {
+				p.Delay(100)
+				l.Acquire(p) // blocks until P0's lease expires, then usurps
+				freshOK = l.GuardedStore(p, data, 2)
+				l.Release(p)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return staleBlocked, freshOK, l
+	}
+	stale, fresh, l := run()
+	if !stale {
+		t.Error("usurped holder's guarded store went through")
+	}
+	if !fresh {
+		t.Error("usurper's guarded store was suppressed")
+	}
+	if l.Takeovers() != 1 {
+		t.Errorf("want 1 takeover, got %d", l.Takeovers())
+	}
+	if l.StaleWrites() != 1 {
+		t.Errorf("want 1 stale write, got %d", l.StaleWrites())
+	}
+	// Determinism: the usurpation race must replay bit-identically.
+	stale2, fresh2, l2 := run()
+	if stale2 != stale || fresh2 != fresh || l2.Takeovers() != l.Takeovers() || l2.StaleWrites() != l.StaleWrites() {
+		t.Error("usurpation outcome diverged between identical runs")
+	}
+}
+
+// TestLeaseExpiryTieIsDeterministic pins the contested instant: the
+// owner tries to renew its lease at the exact moment it expires while a
+// usurper is polling for exactly that expiry. Whoever's RMW the engine
+// orders first wins — the point is not which one, but that exactly one
+// wins and that the outcome replays bit-identically.
+func TestLeaseExpiryTieIsDeterministic(t *testing.T) {
+	type tieResult struct {
+		RenewOK   bool
+		Takeovers uint64
+		Stale     uint64
+	}
+	run := func(seed uint64) tieResult {
+		m, err := machine.New(machine.Config{Procs: 2, Topo: topo.Bus, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := NewLeaseFenceTerm(m, 1000, 8).(*fenceLock)
+		data := m.AllocShared(1)
+		var res tieResult
+		var expiry sim.Time
+		if err := m.Run(func(p *machine.Proc) {
+			if p.ID() == 0 {
+				l.Acquire(p)
+				expiry = sim.Time(p.Load(l.lease.word) & leaseExpMask)
+				if d := expiry - p.Now(); d > 0 {
+					p.Delay(d) // arrive at the expiry instant exactly
+				}
+				res.RenewOK = l.Renew(p)
+				if !l.GuardedStore(p, data, 1) {
+					res.Stale++
+				}
+				l.Release(p)
+			} else {
+				// Let the owner win the initial acquire, then poll tightly
+				// so a takeover attempt lands at the expiry instant; the
+				// tie against the owner's renewal resolves by the engine's
+				// (when, seq) order.
+				p.Delay(50)
+				l.Acquire(p)
+				l.Release(p)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res.Takeovers = l.Takeovers()
+		return res
+	}
+	a := run(9)
+	b := run(9)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tie outcome diverged: %+v vs %+v", a, b)
+	}
+	if a.RenewOK == (a.Takeovers > 0) {
+		t.Errorf("want exactly one of renewal and takeover to win, got %+v", a)
+	}
+	if a.Takeovers > 0 && a.Stale != 1 {
+		t.Errorf("usurped owner's write should have been fenced: %+v", a)
+	}
+}
+
+// TestReconfBarrierEvictsAndRejoins: under a crash-with-restart plan
+// the reconfigurable barrier keeps completing episodes without the dead
+// processor and readmits it after rebirth, with both healing counters
+// visible. The run must also complete every surviving processor's
+// episode quota — the property central barriers lose under the same
+// plan.
+func TestReconfBarrierEvictsAndRejoins(t *testing.T) {
+	plan := fault.NewPlan("reconf/crash+restart").
+		WithCrash(0, 2000).
+		WithRestart(0, 30000)
+	cfg := machine.Config{Procs: 8, Topo: topo.Bus, Seed: 29}
+	opts := RecoveryBarrierOpts{Episodes: 30, Work: 150, MaxSteps: 4_000_000}
+
+	var bar *reconfBarrier
+	res, err := RunBarrierRecovery(nil, cfg, "reconf", func(m *machine.Machine) Barrier {
+		bar = NewReconfBudget(m, 4096).(*reconfBarrier)
+		return bar
+	}, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("reconf barrier did not complete: %+v", res)
+	}
+	if bar.Evictions() == 0 {
+		t.Error("dead processor was never evicted from an episode")
+	}
+	if bar.Rejoins() == 0 {
+		t.Error("reborn processor never rejoined the group")
+	}
+	if res.Recovered != 1 {
+		t.Errorf("want 1 recovered processor, got %d", res.Recovered)
+	}
+	if res.Recoveries != 1 || res.RecoveryCycles <= 0 {
+		t.Errorf("time-to-recovery not measured: %+v", res)
+	}
+
+	// The same plan wedges the plain central barrier until the restart
+	// lands, costing most of the episode budget; with no restart at all
+	// it would never complete. Here we only require reconf to beat it.
+	central, err := RunBarrierRecovery(nil, cfg, "central", func(m *machine.Machine) Barrier {
+		info, _ := BarrierByName("central")
+		return info.Make(m)
+	}, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.Outcome == OutcomeOK && central.Cycles <= res.Cycles {
+		t.Errorf("central barrier (%d cycles) was not slower than reconf (%d) under the crash",
+			central.Cycles, res.Cycles)
+	}
+}

@@ -1,0 +1,330 @@
+package simsync
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// This file holds the crash-recovery workload runners behind the FT3
+// and FT4 experiments. They differ from the fail-stop runners
+// (fault_workload.go) in three ways forced by rebirth:
+//
+//   - The program body is the machine's recovery entry point: a reborn
+//     processor re-enters it from the top with fresh proc-local state,
+//     so all workload progress lives in host-side arrays indexed by
+//     processor and the body *resumes* (it never replays completed
+//     iterations, which would double-count work).
+//   - The mutual-exclusion check must distinguish three ways an acquire
+//     can find the critical section occupied: by a live holder (a
+//     violation), by a crashed holder (an orphaned acquisition — the
+//     reclaim the self-healing locks exist to make), and by a holder
+//     that died and was reborn since (also orphaned: its old claim is a
+//     previous incarnation's, detected by comparing incarnations).
+//   - Time-to-recovery is measured per rebirth: from the revival
+//     instant until the reborn processor completes its first unit of
+//     useful work (a lock acquisition, a barrier episode).
+
+// RecoveryLockOpts configures a crash-recovery lock workload.
+type RecoveryLockOpts struct {
+	Iters int      // acquisitions each processor must complete
+	CS    sim.Time // work inside the critical section
+	Think sim.Time // mean exponential think time between attempts
+
+	// Budget, when positive and the lock implements BoundedLock, bounds
+	// each attempt as in FaultLockOpts.
+	Budget sim.Time
+
+	// MaxSteps caps the engine's event budget so wedged runs come back
+	// quickly as OutcomeStepLimit. Zero keeps the machine default.
+	MaxSteps uint64
+}
+
+// RecoveryLockResult is the outcome of one crash-recovery lock run.
+type RecoveryLockResult struct {
+	Lock    string
+	Plan    string
+	Topo    topo.Topology
+	Procs   int
+	Outcome Outcome
+
+	Attempts     uint64 // acquire attempts issued (all incarnations)
+	Acquisitions uint64 // attempts that entered the critical section
+	Timeouts     uint64 // bounded attempts that expired
+	Orphaned     uint64 // acquisitions that reclaimed from a dead or reborn holder
+	StaleWrites  uint64 // fenced critical-section writes suppressed (FencedLock only)
+	Crashed      int    // processors the plan crashed at any point
+	Recovered    int    // crashed processors that were reborn
+
+	// Recoveries counts rebirths that reached useful work again, and
+	// RecoveryCycles sums, over those rebirths, the cycles from the
+	// revival instant to the first post-rebirth acquisition. Their ratio
+	// is the mean time-to-recovery FT3 reports.
+	Recoveries     uint64
+	RecoveryCycles sim.Time
+
+	Cycles       sim.Time
+	AcqPerKCycle float64
+	Stats        machine.Stats
+}
+
+// RunLockRecovery executes the critical-section workload for one lock
+// on a machine driven by a crash-recovery fault plan. Mutual exclusion
+// is enforced among live same-incarnation holders only; reclaims from
+// dead or reborn holders are counted as orphaned acquisitions. When the
+// lock is a FencedLock every critical section also issues one guarded
+// write to a scratch word, so a usurped holder's suppressed (stale)
+// writes are observable in the result.
+func RunLockRecovery(pool *machine.Pool, cfg machine.Config, info LockInfo, plan *fault.Plan, opts RecoveryLockOpts) (RecoveryLockResult, error) {
+	cfg.Faults = plan
+	if opts.MaxSteps > 0 {
+		cfg.MaxSteps = opts.MaxSteps
+	}
+	cfg = cfg.Defaults()
+	m, err := getMachine(pool, cfg)
+	if err != nil {
+		return RecoveryLockResult{}, err
+	}
+	defer putMachine(pool, m)
+	lock := info.Make(m)
+	bounded, _ := lock.(BoundedLock)
+	fenced, _ := lock.(FencedLock)
+	var scratch machine.Addr
+	if fenced != nil {
+		scratch = m.AllocShared(1)
+	}
+
+	procs := cfg.Procs
+	var attempts, acqs, timeouts, orphaned, stale uint64
+	var recoveries uint64
+	var recoveryCycles sim.Time
+	done := make([]int, procs)    // iterations completed, surviving rebirth
+	lastInc := make([]int, procs) // incarnation the body last entered under
+	rebornAt := make([]sim.Time, procs)
+	for i := range rebornAt {
+		rebornAt[i] = -1
+	}
+	holder := -1   // host-side: processor inside the CS, -1 when free
+	holderInc := 0 // incarnation the holder acquired under
+	violations := 0
+
+	body := func(p *machine.Proc) {
+		me := p.ID()
+		rng := p.RNG()
+		inc := m.Incarnation(me)
+		if inc != lastInc[me] {
+			// Recovery entry point: this body invocation is a rebirth.
+			lastInc[me] = inc
+			rebornAt[me] = p.Now()
+		}
+		for done[me] < opts.Iters {
+			if opts.Think > 0 {
+				p.Delay(rng.ExpTime(opts.Think))
+			}
+			attempts++
+			if bounded != nil && opts.Budget > 0 {
+				if !bounded.AcquireWithin(p, opts.Budget) {
+					timeouts++
+					continue
+				}
+			} else {
+				lock.Acquire(p)
+			}
+			if holder >= 0 {
+				switch {
+				case m.Crashed(holder) || m.Incarnation(holder) != holderInc:
+					// The previous claim belongs to a dead processor or a
+					// dead processor's earlier incarnation: a reclaim, the
+					// behavior under test, not a violation.
+					orphaned++
+				case holder != me:
+					violations++
+				}
+			}
+			holder, holderInc = me, inc
+			acqs++
+			if rebornAt[me] >= 0 {
+				recoveryCycles += p.Now() - rebornAt[me]
+				recoveries++
+				rebornAt[me] = -1
+			}
+			if opts.CS > 0 {
+				p.Delay(opts.CS)
+			}
+			if fenced != nil {
+				if !fenced.GuardedStore(p, scratch, machine.Word(me+1)) {
+					stale++
+				}
+			}
+			// A usurped or excised holder may find the claim overwritten;
+			// clearing only our own same-incarnation claim keeps the
+			// check exact (see RunLockFaulted).
+			if holder == me && holderInc == inc {
+				holder = -1
+			}
+			lock.Release(p)
+			done[me]++
+		}
+	}
+
+	runErr := m.Run(body)
+	res := RecoveryLockResult{
+		Lock:           info.Name,
+		Plan:           plan.Name(),
+		Topo:           cfg.Topo,
+		Procs:          procs,
+		Attempts:       attempts,
+		Acquisitions:   acqs,
+		Timeouts:       timeouts,
+		Orphaned:       orphaned,
+		StaleWrites:    stale,
+		Recoveries:     recoveries,
+		RecoveryCycles: recoveryCycles,
+	}
+	switch {
+	case runErr == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(runErr, sim.ErrStepLimit):
+		res.Outcome = OutcomeStepLimit
+	case errors.Is(runErr, machine.ErrDeadlock):
+		res.Outcome = OutcomeDeadlock
+	default:
+		return RecoveryLockResult{}, fmt.Errorf("lock %q under plan %q: %w", info.Name, plan.Name(), runErr)
+	}
+	if violations > 0 {
+		return RecoveryLockResult{}, fmt.Errorf("lock %q under plan %q violated mutual exclusion %d times among live processors", info.Name, plan.Name(), violations)
+	}
+	for i := 0; i < procs; i++ {
+		if m.Crashed(i) || m.Incarnation(i) > 0 {
+			res.Crashed++
+		}
+		if m.Incarnation(i) > 0 {
+			res.Recovered++
+		}
+	}
+	st := m.Stats()
+	res.Cycles = st.Cycles
+	res.Stats = st
+	if st.Cycles > 0 {
+		res.AcqPerKCycle = float64(acqs) * 1000 / float64(st.Cycles)
+	}
+	return res, nil
+}
+
+// RecoveryBarrierOpts configures a crash-recovery barrier workload.
+type RecoveryBarrierOpts struct {
+	Episodes int      // episodes each processor must complete
+	Work     sim.Time // mean exponential work per phase
+	MaxSteps uint64
+}
+
+// RecoveryBarrierResult is the outcome of one crash-recovery barrier run.
+type RecoveryBarrierResult struct {
+	Barrier string
+	Plan    string
+	Procs   int
+	Outcome Outcome
+
+	Episodes  uint64 // episodes completed across all processors and incarnations
+	Crashed   int
+	Recovered int
+
+	// Time-to-recovery, as in RecoveryLockResult: cycles from each
+	// revival to the reborn processor's first completed episode.
+	Recoveries     uint64
+	RecoveryCycles sim.Time
+
+	Cycles sim.Time
+	Stats  machine.Stats
+}
+
+// RunBarrierRecovery drives one barrier construction through a
+// crash-recovery fault plan. The factory indirection (rather than a
+// registry name) lets FT4 compare registered barriers against
+// fault-parameterized ones like the straggler barrier on equal footing.
+func RunBarrierRecovery(pool *machine.Pool, cfg machine.Config, name string, mk func(*machine.Machine) Barrier, plan *fault.Plan, opts RecoveryBarrierOpts) (RecoveryBarrierResult, error) {
+	cfg.Faults = plan
+	if opts.MaxSteps > 0 {
+		cfg.MaxSteps = opts.MaxSteps
+	}
+	cfg = cfg.Defaults()
+	m, err := getMachine(pool, cfg)
+	if err != nil {
+		return RecoveryBarrierResult{}, err
+	}
+	defer putMachine(pool, m)
+	bar := mk(m)
+
+	procs := cfg.Procs
+	var total, recoveries uint64
+	var recoveryCycles sim.Time
+	done := make([]int, procs)
+	lastInc := make([]int, procs)
+	rebornAt := make([]sim.Time, procs)
+	for i := range rebornAt {
+		rebornAt[i] = -1
+	}
+
+	body := func(p *machine.Proc) {
+		me := p.ID()
+		rng := p.RNG()
+		if inc := m.Incarnation(me); inc != lastInc[me] {
+			lastInc[me] = inc
+			rebornAt[me] = p.Now()
+		}
+		for done[me] < opts.Episodes {
+			if opts.Work > 0 {
+				p.Delay(rng.ExpTime(opts.Work))
+			}
+			bar.Wait(p)
+			done[me]++
+			total++
+			if rebornAt[me] >= 0 {
+				recoveryCycles += p.Now() - rebornAt[me]
+				recoveries++
+				rebornAt[me] = -1
+			}
+		}
+		// Reconfigurable barriers need finished processors to leave the
+		// group, or a recovered straggler could wait on them forever.
+		if lv, ok := bar.(interface{ Leave(*machine.Proc) }); ok {
+			lv.Leave(p)
+		}
+	}
+
+	runErr := m.Run(body)
+	res := RecoveryBarrierResult{
+		Barrier:        name,
+		Plan:           plan.Name(),
+		Procs:          procs,
+		Episodes:       total,
+		Recoveries:     recoveries,
+		RecoveryCycles: recoveryCycles,
+	}
+	switch {
+	case runErr == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(runErr, sim.ErrStepLimit):
+		res.Outcome = OutcomeStepLimit
+	case errors.Is(runErr, machine.ErrDeadlock):
+		res.Outcome = OutcomeDeadlock
+	default:
+		return RecoveryBarrierResult{}, fmt.Errorf("barrier %q under plan %q: %w", name, plan.Name(), runErr)
+	}
+	for i := 0; i < procs; i++ {
+		if m.Crashed(i) || m.Incarnation(i) > 0 {
+			res.Crashed++
+		}
+		if m.Incarnation(i) > 0 {
+			res.Recovered++
+		}
+	}
+	st := m.Stats()
+	res.Cycles = st.Cycles
+	res.Stats = st
+	return res, nil
+}

@@ -36,6 +36,12 @@ func init() {
 		// tightens their bounds to exercise timeout and takeover paths.
 		LockInfo{Name: "tas-deadline", Make: NewTASDeadline, FIFO: false},
 		LockInfo{Name: "lease", Make: NewLease, FIFO: false},
+		// Self-healing locks (selfheal.go). Same contract: fault-free
+		// with default parameters lease-fence is a plain lease lock whose
+		// epoch counts acquires, and qheal is an exact FIFO ticket lock
+		// (nothing is ever suspected, the grace backstop is unreachable).
+		LockInfo{Name: "lease-fence", Make: NewLeaseFence, FIFO: false},
+		LockInfo{Name: "qheal", Make: NewHealQueue, FIFO: true},
 	)
 	BarrierSet.Register(
 		BarrierInfo{Name: "central", Make: NewCentralBarrier},
@@ -43,6 +49,9 @@ func init() {
 		BarrierInfo{Name: "dissemination", Make: NewDisseminationBarrier},
 		BarrierInfo{Name: "tournament", Make: NewTournamentBarrier},
 		BarrierInfo{Name: "qsync-tree", Make: NewQSyncTreeBarrier},
+		// Reconfigurable barrier (selfheal.go): fault-free it is an
+		// exact all-arrive barrier, so unlike straggler it registers.
+		BarrierInfo{Name: "reconf", Make: NewReconfBarrier},
 	)
 	RWLockSet.Register(
 		RWLockInfo{Name: "rw-ctr", Make: NewCounterRW, Fair: false},
