@@ -1,0 +1,323 @@
+// Command ratelimiter serves an admission-controlled work endpoint: the
+// overload-robustness pieces of this repo (sharded.Gate, stats.Hist)
+// wrapped in the smallest HTTP service that demonstrates them end to
+// end. Every request carries a deadline, the gate bounds how many may
+// wait for a permit, and everything beyond that bound is shed
+// immediately with 429 + Retry-After instead of queueing into the
+// deadline ceiling.
+//
+// Usage:
+//
+//	ratelimiter -addr :8080 -permits 4 -waiters 64 -hold 2ms
+//	ratelimiter -selftest        # in-process smoke: start, drive, drain
+//
+// Endpoints:
+//
+//	GET /work      acquire a permit, hold it for -hold (or ?ms=N,
+//	               capped), release. Deadline comes from the
+//	               X-Deadline-Ms header, ?deadline_ms=N, or -budget.
+//	               200 on success, 429 shed, 503 draining, 504 deadline.
+//	GET /healthz   200 "ok" while serving, 503 "draining" after SIGTERM.
+//	GET /statz     JSON counters: admitted/shed/timeout/canceled,
+//	               in-flight, waiting, goodput, p50/p95/p99 ms, uptime.
+//
+// On SIGTERM/SIGINT the server flips /healthz to draining, closes the
+// gate (waiters fail fast with 503), and gives in-flight requests a
+// grace period before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/sharded"
+	"repro/internal/stats"
+)
+
+// server is the handler state: one gate, one latency histogram, and
+// the knobs they were built with.
+type server struct {
+	gate     *sharded.Gate
+	lat      *stats.ShardedHist
+	hold     time.Duration // default simulated service time
+	maxHold  time.Duration // ceiling on client-requested ?ms
+	budget   time.Duration // default per-request deadline
+	start    time.Time
+	draining atomic.Bool
+}
+
+func newServer(permits int64, waiters int, hold, budget time.Duration) *server {
+	return &server{
+		gate:    sharded.NewGate(permits, waiters, 0),
+		lat:     stats.NewShardedHist(0),
+		hold:    hold,
+		maxHold: 20 * hold,
+		budget:  budget,
+		start:   time.Now(),
+	}
+}
+
+// requestBudget resolves the request's deadline: header beats query
+// beats the server default. Zero or garbage falls back to the default.
+func (s *server) requestBudget(r *http.Request) time.Duration {
+	for _, raw := range []string{r.Header.Get("X-Deadline-Ms"), r.URL.Query().Get("deadline_ms")} {
+		if raw == "" {
+			continue
+		}
+		if ms, err := strconv.Atoi(raw); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return s.budget
+}
+
+// retryAfterSec estimates when a shed client should come back: the
+// time for the current waiting room to drain through the permit pool,
+// rounded up to whole seconds (Retry-After's granularity).
+func (s *server) retryAfterSec() int {
+	st := s.gate.Stats()
+	drain := time.Duration(st.Waiting/s.gate.Capacity()+1) * s.hold
+	sec := int((drain + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *server) handleWork(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestBudget(r))
+	defer cancel()
+
+	startWait := time.Now()
+	switch err := s.gate.Acquire(ctx); {
+	case err == nil:
+		// admitted below
+	case errors.Is(err, sharded.ErrShed):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
+		http.Error(w, "shed: waiting room full", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, sharded.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	default: // context deadline or cancellation while waiting
+		http.Error(w, "deadline exceeded while queued", http.StatusGatewayTimeout)
+		return
+	}
+	defer s.gate.Release()
+
+	hold := s.hold
+	if raw := r.URL.Query().Get("ms"); raw != "" {
+		if ms, err := strconv.Atoi(raw); err == nil && ms >= 0 {
+			hold = min(time.Duration(ms)*time.Millisecond, s.maxHold)
+		}
+	}
+	// The permit is held for the service time, but never past the
+	// request's deadline: a deadline-aware worker stops early rather
+	// than doing work nobody is waiting for.
+	select {
+	case <-time.After(hold):
+	case <-ctx.Done():
+		http.Error(w, "deadline exceeded mid-service", http.StatusGatewayTimeout)
+		return
+	}
+	s.lat.Record(int64(time.Since(startWait)))
+	fmt.Fprintf(w, "ok wait+service=%v\n", time.Since(startWait).Round(time.Microsecond))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || s.gate.Closed() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// statz is the expvar-style counter snapshot.
+type statz struct {
+	Admitted  int64   `json:"admitted"`
+	Shed      int64   `json:"shed"`
+	TimedOut  int64   `json:"timed_out"`
+	Canceled  int64   `json:"canceled"`
+	InFlight  int64   `json:"in_flight"`
+	Waiting   int64   `json:"waiting"`
+	Draining  bool    `json:"draining"`
+	UptimeSec float64 `json:"uptime_sec"`
+	OKPerSec  float64 `json:"ok_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+func (s *server) snapshot() statz {
+	st := s.gate.Stats()
+	h := s.lat.Snapshot()
+	up := time.Since(s.start).Seconds()
+	ms := func(p float64) float64 { return float64(h.Quantile(p)) / 1e6 }
+	return statz{
+		Admitted: st.Admitted, Shed: st.Shed, TimedOut: st.TimedOut, Canceled: st.Canceled,
+		InFlight: st.InFlight, Waiting: st.Waiting,
+		Draining:  s.draining.Load() || st.Closed,
+		UptimeSec: up,
+		OKPerSec:  float64(h.Count()) / up,
+		P50Ms:     ms(0.50), P95Ms: ms(0.95), P99Ms: ms(0.99),
+	}
+}
+
+func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", s.handleWork)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// drain is the SIGTERM path: stop advertising health, close the gate
+// so queued waiters 503 instead of burning their deadlines, then give
+// in-flight handlers a grace period.
+func (s *server) drain(srv *http.Server, grace time.Duration) error {
+	s.draining.Store(true)
+	s.gate.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := s.gate.Drain(ctx); err != nil {
+		return fmt.Errorf("gate drain: %w", err)
+	}
+	return srv.Shutdown(ctx)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		permits  = flag.Int64("permits", 4, "concurrent work permits")
+		waiters  = flag.Int("waiters", 64, "max queued acquirers before shedding (0 = shed unless free, -1 = unbounded)")
+		hold     = flag.Duration("hold", 2*time.Millisecond, "default simulated service time per request")
+		budget   = flag.Duration("budget", 100*time.Millisecond, "default per-request deadline")
+		grace    = flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM")
+		selftest = flag.Bool("selftest", false, "start on an ephemeral port, drive traffic through every status path, drain, and exit")
+	)
+	flag.Parse()
+
+	s := newServer(*permits, *waiters, *hold, *budget)
+
+	if *selftest {
+		if err := runSelftest(s, *grace); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.mux()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ratelimiter listening on %s (permits=%d waiters=%d hold=%v budget=%v)\n",
+		*addr, *permits, *waiters, *hold, *budget)
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "%v: draining (grace %v)\n", sig, *grace)
+		if err := s.drain(srv, *grace); err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSelftest exercises the service in-process: real listener, real
+// HTTP round trips, overload sheds, then a clean drain. Used by the CI
+// smoke step.
+func runSelftest(s *server, grace time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	if code, err := get("/healthz"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("healthz: code=%d err=%v", code, err)
+	}
+	if code, err := get("/work?ms=1"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("work: code=%d err=%v", code, err)
+	}
+	// Overload: far more concurrent requests than permits+waiters, each
+	// holding long relative to its deadline — some must shed or time out.
+	const storm = 256
+	codes := make(chan int, storm)
+	for i := 0; i < storm; i++ {
+		go func() {
+			resp, err := http.Get(base + "/work?ms=20&deadline_ms=50")
+			if err != nil {
+				codes <- 0
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	counts := map[int]int{}
+	for i := 0; i < storm; i++ {
+		counts[<-codes]++
+	}
+	if counts[http.StatusOK] == 0 {
+		return fmt.Errorf("storm: no request succeeded: %v", counts)
+	}
+	if counts[http.StatusTooManyRequests]+counts[http.StatusGatewayTimeout] == 0 {
+		return fmt.Errorf("storm: nothing shed or timed out under %dx overload: %v", storm, counts)
+	}
+	var sz statz
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sz)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if sz.Admitted == 0 || sz.P99Ms <= 0 {
+		return fmt.Errorf("statz counters empty: %+v", sz)
+	}
+	if err := s.drain(srv, grace); err != nil {
+		return err
+	}
+	if st := s.gate.Stats(); st.InFlight != 0 || st.Waiting != 0 {
+		return fmt.Errorf("gate not quiesced after drain: %+v", st)
+	}
+	fmt.Printf("storm codes: %v; admitted=%d shed=%d timeout=%d p99=%.1fms\n",
+		counts, sz.Admitted, sz.Shed, sz.TimedOut, sz.P99Ms)
+	return nil
+}

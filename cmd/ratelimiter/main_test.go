@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, permits int64, waiters int, hold, budget time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(permits, waiters, hold, budget)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestWorkOK(t *testing.T) {
+	_, ts := testServer(t, 2, 8, time.Millisecond, 100*time.Millisecond)
+	if resp := get(t, ts.URL+"/work"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("work: %d", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestShedHasRetryAfter: with a zero-size waiting room, a second
+// concurrent request sheds as 429 and carries a Retry-After hint.
+func TestShedHasRetryAfter(t *testing.T) {
+	_, ts := testServer(t, 1, 0, 50*time.Millisecond, time.Second)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/work?ms=100")
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(release)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the holder win the permit
+	resp := get(t, ts.URL+"/work")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-release
+	wg.Wait()
+}
+
+// TestDeadlinePropagation: a request whose own deadline is shorter
+// than the queue ahead of it times out as 504, honoring the
+// X-Deadline-Ms header rather than the server default.
+func TestDeadlinePropagation(t *testing.T) {
+	_, ts := testServer(t, 1, 8, 50*time.Millisecond, 10*time.Second)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/work?ms=200")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	req, _ := http.NewRequest("GET", ts.URL+"/work", nil)
+	req.Header.Set("X-Deadline-Ms", "30")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %d", resp.StatusCode)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("504 took %v — header deadline not honored", el)
+	}
+	wg.Wait()
+}
+
+// TestDrain: after drain, healthz flips to 503, new work sheds with
+// 503, and the gate quiesces.
+func TestDrain(t *testing.T) {
+	s, ts := testServer(t, 2, 8, time.Millisecond, 100*time.Millisecond)
+	if resp := get(t, ts.URL+"/work"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: %d", resp.StatusCode)
+	}
+	srv := &http.Server{Handler: s.mux()}
+	if err := s.drain(srv, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: %d", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/work"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("work after drain: %d", resp.StatusCode)
+	}
+	if st := s.gate.Stats(); st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not quiesced: %+v", st)
+	}
+}
+
+func TestStatz(t *testing.T) {
+	_, ts := testServer(t, 2, 8, time.Millisecond, 100*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if resp := get(t, ts.URL+"/work"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("work %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp := get(t, ts.URL+"/statz")
+	var sz statz
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.Admitted != 5 || sz.InFlight != 0 {
+		t.Fatalf("counters: %+v", sz)
+	}
+	if sz.P50Ms <= 0 || sz.P99Ms < sz.P50Ms {
+		t.Fatalf("quantiles: %+v", sz)
+	}
+}
+
+// TestSelftest runs the CI smoke path end to end.
+func TestSelftest(t *testing.T) {
+	s := newServer(4, 16, 2*time.Millisecond, 100*time.Millisecond)
+	if err := runSelftest(s, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -94,6 +94,8 @@ func Registry() []Experiment {
 		{IDs: []string{"A1"}, Title: "Ablation: machine timing-parameter sensitivity", Run: runA1},
 		{IDs: []string{"X1", "X2"}, Title: "Lock sweep with machine topology as the matrix axis", Run: runTopoAxis},
 		{IDs: []string{"SC1", "SC2"}, Title: "Scaling-law sweep: contended tas storm vs processor count across topologies", Run: runScalingSweep},
+		{IDs: []string{"SAT1"}, Title: "Open-loop saturation: bare semaphore vs admission gate, tail latency vs offered rate", Run: runSAT1},
+		{IDs: []string{"SAT2"}, Title: "Open-loop saturation with keyed pools: uniform vs hot-key mix", Run: runSAT2},
 		{IDs: []string{"FT1", "FT2"}, Title: "Resilience under deterministic fault injection: outcomes and throughput vs fault level", Run: runFaultSweep},
 		{IDs: []string{"FT3", "FT4"}, Title: "Crash recovery: lock and barrier availability, time-to-recovery, orphaned acquisitions under restart plans", Run: runRecoverySweep},
 		{IDs: []string{"L1-cluster", "L2-cluster", "B1-cluster", "R1-cluster", "S1-cluster", "C1-cluster"},

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/locks"
 	"repro/internal/machine"
@@ -27,6 +28,77 @@ var errSkipCell = errors.New("harness: cell skipped (axis point above topology c
 
 // skippedCell marks a skipped cell in rendered tables and CSVs.
 const skippedCell = "-"
+
+// errCellTimeout is returned by a watchdogged cell whose measurement
+// exceeded its wall-clock budget. The sweep records the cell as failed
+// ("!timeout") and the battery keeps going: a wedged real-runtime cell
+// (a livelocked lock, a semaphore that never sheds) must cost one
+// table cell, not the whole run. The wedged goroutine itself cannot be
+// killed and is abandoned — which is why the watchdog hands it a
+// private machine pool (see watchdogCell) and why it is only wired to
+// real-runtime sweeps, whose cells hold no simulator state.
+var errCellTimeout = errors.New("harness: cell watchdog expired")
+
+// realCellTimeout is the wall-clock budget for one real-runtime sweep
+// cell. The slowest legitimate cells (full-size F11 at high goroutine
+// counts, SAT cells with their fixed-duration load runs) finish in a
+// few seconds; a cell still running after a minute is wedged.
+const realCellTimeout = 60 * time.Second
+
+// watchdogCell runs fn under a wall-clock watchdog, returning
+// errCellTimeout if it does not finish within timeout (fn keeps
+// running on its abandoned goroutine; its eventual result is
+// discarded). A panic inside fn is re-raised on the caller's
+// goroutine, so measureSafe's panic-to-failed-cell downgrade still
+// applies. timeout <= 0 disables the watchdog.
+func watchdogCell(timeout time.Duration, fn func() ([]float64, error)) ([]float64, error) {
+	if timeout <= 0 {
+		return fn()
+	}
+	type cellOut struct {
+		vals   []float64
+		err    error
+		panicv any
+	}
+	done := make(chan cellOut, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- cellOut{panicv: r}
+			}
+		}()
+		vals, err := fn()
+		done <- cellOut{vals: vals, err: err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-done:
+		if out.panicv != nil {
+			panic(out.panicv)
+		}
+		return out.vals, out.err
+	case <-t.C:
+		return nil, errCellTimeout
+	}
+}
+
+// runMatrixTimeout is runMatrix for real-runtime sweeps (sequential
+// cells, host-time measurements) with a per-cell wall-clock watchdog:
+// a cell exceeding timeout renders as "!timeout" instead of hanging
+// the battery. Each cell gets a private machine pool, since on timeout
+// the measuring goroutine — and anything handed to it — is abandoned.
+func runMatrixTimeout[A any](timeout time.Duration, algos []A, nameOf func(A) string,
+	axisLabel string, axis []string, metrics []metricSpec,
+	measure func(ai int, algo A, pool *machine.Pool) ([]float64, error)) ([]Table, error) {
+
+	return runMatrix(false, algos, nameOf, axisLabel, axis, metrics,
+		func(ai int, algo A, _ *machine.Pool) ([]float64, error) {
+			return watchdogCell(timeout, func() ([]float64, error) {
+				return measure(ai, algo, new(machine.Pool))
+			})
+		})
+}
 
 // failedCell renders a cell whose measurement panicked: a bang plus the
 // truncated panic reason, so the table both flags the failure and gives
@@ -162,6 +234,10 @@ func runMatrix[A any](parallel bool, algos []A, nameOf func(A) string, axisLabel
 		if merr != nil {
 			if errors.Is(merr, errSkipCell) {
 				return nil // leave the slot nil; rendered as skippedCell
+			}
+			if errors.Is(merr, errCellTimeout) {
+				failures[ai][aj] = "timeout" // rendered as "!timeout"
+				return nil
 			}
 			return merr
 		}

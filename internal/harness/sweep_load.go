@@ -1,0 +1,300 @@
+package harness
+
+// The saturation experiments (SAT1/SAT2): the first sweeps judged at
+// the tail instead of the mean. An open-loop generator (internal/load)
+// offers work at a target rate — past the knee, unlike every
+// closed-loop sweep in this harness — against two acquisition
+// disciplines over the same striped semaphore:
+//
+//   sem:  bare deadline acquisition (Semaphore.AcquireTimeout). No
+//         admission control: every arrival joins the scrum and either
+//         wins a permit or burns its whole deadline.
+//   gate: admission-controlled (sharded.Gate): a bounded waiting room,
+//         everyone beyond it shed immediately with ErrShed.
+//
+// Each admitted op holds its permit for a fixed service time, so
+// capacity is exactly permits/hold and the knee is known in advance.
+// SAT1 sweeps offered rate on one shared pool; SAT2 splits the permits
+// into per-key pools and compares a uniform key mix against a hot-key
+// mix, where aggregate capacity is unreachable because the hot key's
+// pool saturates first. Cells run under the real-runtime watchdog: a
+// wedged discipline renders as "!timeout" across its columns.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/sharded"
+)
+
+// satShape fixes the saturation workload. Capacity is permits/hold =
+// 2000 ops/s, so the rate axis brackets the knee from both sides.
+type satShape struct {
+	permits    int64
+	maxWaiters int
+	hold       time.Duration // service time while holding a permit
+	deadline   time.Duration // per-op budget from scheduled arrival
+	dur        time.Duration // open-loop horizon per cell
+	rates      []float64     // offered arrivals/sec
+}
+
+func (o Options) satShape() satShape {
+	s := satShape{
+		permits:    4,
+		maxWaiters: 24,
+		hold:       2 * time.Millisecond,
+		deadline:   100 * time.Millisecond,
+		dur:        1200 * time.Millisecond,
+		rates:      []float64{1000, 2000, 4000, 8000},
+	}
+	if o.Quick {
+		s.dur = 250 * time.Millisecond
+		s.rates = []float64{1000, 4000}
+	}
+	return s
+}
+
+// satMetrics flattens one load.Result into the table's per-discipline
+// metric columns.
+func satMetrics(res load.Result) []float64 {
+	return []float64{
+		res.GoodputPerSec(),
+		res.ShedFrac() * 100,
+		res.DeadlineFrac() * 100,
+		res.QuantileMs(0.50),
+		res.QuantileMs(0.95),
+		res.QuantileMs(0.99),
+	}
+}
+
+// satHeaders matches satMetrics.
+var satHeaders = []string{"ok/s", "shed%", "dl%", "p50ms", "p95ms", "p99ms"}
+
+// satFmt formats one satMetrics value: throughput like every other
+// table, percentages and milliseconds with one decimal.
+func satFmt(col int, v float64) string {
+	if col == 0 {
+		return Fmt(v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// appendSatCells renders one discipline's cells into a row: values on
+// success, "!timeout" across the group when the watchdog fired.
+func appendSatCells(row []string, vals []float64, err error) ([]string, error) {
+	if errors.Is(err, errCellTimeout) {
+		for range satHeaders {
+			row = append(row, failedCell("timeout"))
+		}
+		return row, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		row = append(row, satFmt(i, v))
+	}
+	return row, nil
+}
+
+// semOp is the bare discipline: wait for a permit until the op's
+// deadline, no shedding.
+func semOp(sem *sharded.Semaphore, hold, deadline time.Duration) load.Op {
+	return func(ctx context.Context, i int) load.Outcome {
+		budget := deadline
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl)
+		}
+		if !sem.AcquireTimeout(budget) {
+			return load.DeadlineExceeded
+		}
+		time.Sleep(hold)
+		sem.Release()
+		return load.OK
+	}
+}
+
+// gateOp is the admission-controlled discipline.
+func gateOp(g *sharded.Gate, hold time.Duration) load.Op {
+	return func(ctx context.Context, i int) load.Outcome {
+		switch err := g.Acquire(ctx); {
+		case err == nil:
+			time.Sleep(hold)
+			g.Release()
+			return load.OK
+		case errors.Is(err, sharded.ErrShed):
+			return load.Shed
+		default:
+			return load.DeadlineExceeded
+		}
+	}
+}
+
+// satDisciplines builds the two fresh-per-cell disciplines.
+func satDisciplines(s satShape) []struct {
+	name string
+	mk   func() load.Op
+} {
+	return []struct {
+		name string
+		mk   func() load.Op
+	}{
+		{"sem", func() load.Op { return semOp(sharded.NewSemaphore(s.permits, 0), s.hold, s.deadline) }},
+		{"gate", func() load.Op { return gateOp(sharded.NewGate(s.permits, s.maxWaiters, 0), s.hold) }},
+	}
+}
+
+// ---------------------------------------------------------------------
+// SAT1 — open-loop rate sweep, one shared pool
+// ---------------------------------------------------------------------
+
+func runSAT1(o Options) ([]Table, error) {
+	s := o.satShape()
+	capacity := float64(s.permits) / s.hold.Seconds()
+	t := Table{
+		ID: "SAT1",
+		Title: fmt.Sprintf("Open-loop saturation, uniform load: bare semaphore vs admission gate (permits=%d, hold=%v, deadline=%v, waiters<=%d, capacity≈%.0f/s)",
+			s.permits, s.hold, s.deadline, s.maxWaiters, capacity),
+		Note: "past the knee the bare semaphore's tail runs to the deadline ceiling while the gate's bounded waiting room pins p99 near (waiters/permits+1)*hold and converts the excess into immediate sheds",
+		Cols: []string{"offered/s"},
+	}
+	for _, d := range satDisciplines(s) {
+		for _, h := range satHeaders {
+			t.Cols = append(t.Cols, d.name+" "+h)
+		}
+	}
+	for _, rate := range s.rates {
+		row := []string{Fmt(rate)}
+		for _, disc := range satDisciplines(s) {
+			disc, rate := disc, rate
+			vals, err := watchdogCell(realCellTimeout, func() ([]float64, error) {
+				res := load.RunOpen(disc.mk(), load.OpenOpts{
+					Rate: rate, Duration: s.dur, Deadline: s.deadline, Seed: o.seed(),
+				})
+				if !res.Accounted() {
+					return nil, fmt.Errorf("SAT1 %s rate=%.0f: %d offered, %d accounted",
+						disc.name, rate, res.Offered, res.OK+res.Shed+res.Deadline)
+				}
+				o.progressf("  SAT1 %s rate=%.0f: ok/s=%.0f shed=%.1f%% p99=%.1fms\n",
+					disc.name, rate, res.GoodputPerSec(), res.ShedFrac()*100, res.QuantileMs(0.99))
+				return satMetrics(res), nil
+			})
+			var aerr error
+			row, aerr = appendSatCells(row, vals, err)
+			if aerr != nil {
+				return nil, aerr
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// ---------------------------------------------------------------------
+// SAT2 — keyed pools, uniform vs hot-key mix
+// ---------------------------------------------------------------------
+
+// satKeys is the keyed-pool count and hot-key share: 90% of hot-mix
+// arrivals hit key 0, so the hot knee sits at perKeyCapacity/0.9 of
+// aggregate offered rate — about a quarter of the uniform knee.
+const (
+	satKeys   = 4
+	satHotPct = 90
+)
+
+// satKeyFor derives op i's pool deterministically from the load
+// package's key stream.
+func satKeyFor(seed uint64, i int, hot bool) int {
+	k := load.Key(seed, i)
+	if hot && k%100 < satHotPct {
+		return 0
+	}
+	return int(k>>32) % satKeys
+}
+
+func runSAT2(o Options) ([]Table, error) {
+	s := o.satShape()
+	// Split the pool: per-key capacity is 1/satKeys of SAT1's.
+	perKey := s.permits / satKeys
+	if perKey < 1 {
+		perKey = 1
+	}
+	perWait := s.maxWaiters / satKeys
+	if !o.Quick {
+		// Shift the axis down one octave: the hot knee sits at ~1/4 of
+		// the uniform one, and the lowest row should be under both.
+		s.rates = []float64{500, 1000, 2000, 4000}
+	}
+	keyCap := float64(perKey) / s.hold.Seconds()
+	t := Table{
+		ID: "SAT2",
+		Title: fmt.Sprintf("Open-loop saturation, %d keyed pools (%d permit(s) each, per-key capacity≈%.0f/s): uniform vs %d%%-hot-key mix",
+			satKeys, perKey, keyCap, satHotPct),
+		Note: "the hot mix saturates one pool at ~1/4 the uniform knee while the other pools idle: aggregate capacity is unreachable under skew, and only the gated pool keeps the hot key's p99 bounded there",
+		Cols: []string{"offered/s"},
+	}
+	mixes := []struct {
+		name string
+		hot  bool
+	}{{"uni", false}, {"hot", true}}
+	// Per-(mix, discipline) column groups with the headline metrics.
+	satTailHeaders := []string{"ok/s", "shed%", "p99ms"}
+	for _, m := range mixes {
+		for _, d := range satDisciplines(s) {
+			for _, h := range satTailHeaders {
+				t.Cols = append(t.Cols, m.name+"-"+d.name+" "+h)
+			}
+		}
+	}
+	pick := func(vals []float64) []float64 { // satMetrics -> {ok/s, shed%, p99ms}
+		return []float64{vals[0], vals[1], vals[5]}
+	}
+	for _, rate := range s.rates {
+		row := []string{Fmt(rate)}
+		for _, m := range mixes {
+			for _, disc := range satDisciplines(s) {
+				m, disc, rate := m, disc, rate
+				vals, err := watchdogCell(realCellTimeout, func() ([]float64, error) {
+					// One pool per key, fresh per cell.
+					var ops [satKeys]load.Op
+					for k := range ops {
+						if disc.name == "sem" {
+							ops[k] = semOp(sharded.NewSemaphore(perKey, 0), s.hold, s.deadline)
+						} else {
+							ops[k] = gateOp(sharded.NewGate(perKey, perWait, 0), s.hold)
+						}
+					}
+					res := load.RunOpen(func(ctx context.Context, i int) load.Outcome {
+						return ops[satKeyFor(o.seed(), i, m.hot)](ctx, i)
+					}, load.OpenOpts{
+						Rate: rate, Duration: s.dur, Deadline: s.deadline, Seed: o.seed(),
+					})
+					if !res.Accounted() {
+						return nil, fmt.Errorf("SAT2 %s/%s rate=%.0f: %d offered, %d accounted",
+							m.name, disc.name, rate, res.Offered, res.OK+res.Shed+res.Deadline)
+					}
+					o.progressf("  SAT2 %s/%s rate=%.0f: ok/s=%.0f shed=%.1f%% p99=%.1fms\n",
+						m.name, disc.name, rate, res.GoodputPerSec(), res.ShedFrac()*100, res.QuantileMs(0.99))
+					return pick(satMetrics(res)), nil
+				})
+				if errors.Is(err, errCellTimeout) {
+					for range satTailHeaders {
+						row = append(row, failedCell("timeout"))
+					}
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				for i, v := range vals {
+					row = append(row, satFmt(i, v))
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}

@@ -228,8 +228,9 @@ func runF11(o Options) ([]Table, error) {
 	for g := 1; g <= maxG; g *= 2 {
 		gs = append(gs, g)
 	}
-	// Real runtime: cells time the host and must not run concurrently.
-	return runMatrix(false, algosFor(o, locks.Registry),
+	// Real runtime: cells time the host and must not run concurrently;
+	// the watchdog turns a wedged lock into a "!timeout" cell.
+	return runMatrixTimeout(realCellTimeout, algosFor(o, locks.Registry),
 		func(li locks.Info) string { return li.Name },
 		"goroutines", intAxis(gs),
 		[]metricSpec{{ID: "F11",

@@ -33,8 +33,9 @@ func runF9(o Options) ([]Table, error) {
 	for i, f := range fracs {
 		axis[i] = fmt.Sprintf("%.2f", f)
 	}
-	// Real runtime: cells time the host and must not run concurrently.
-	return runMatrix(false, algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
+	// Real runtime: cells time the host and must not run concurrently;
+	// the watchdog turns a wedged lock into a "!timeout" cell.
+	return runMatrixTimeout(realCellTimeout, algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
 		"read fraction", axis,
 		[]metricSpec{{ID: "F9",
 			Title: fmt.Sprintf("Reader-writer throughput vs read fraction (%d goroutines, real runtime)", gor),

@@ -1,0 +1,273 @@
+// Package load is the saturating traffic generator: it drives a
+// real-runtime operation (a semaphore acquire, a gate admission, an
+// HTTP call) at a *target offered rate* from a deterministic,
+// pre-computed arrival schedule — the open-loop model — instead of
+// from a fixed pool of goroutines that each wait for their last op to
+// finish (closed-loop). The distinction is the whole point of
+// saturation testing: a closed-loop driver slows its own arrival rate
+// exactly when the system under test slows down, so it can never push
+// past the knee and its latency numbers hide the queueing the real
+// world would see (coordinated omission). The open-loop generator
+// keeps offering work on schedule, measures each op's latency from
+// its *scheduled* arrival, and classifies every offered op as ok,
+// shed, or deadline-exceeded — so overload shows up as shed counts
+// and tail latency, never as silently reduced load.
+//
+// A closed-loop mode is kept for comparison; the harness sweeps both.
+package load
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Outcome classifies one offered operation.
+type Outcome uint8
+
+const (
+	// OK: the op completed within its deadline.
+	OK Outcome = iota
+	// Shed: the op was refused at admission (it consumed no service).
+	Shed
+	// DeadlineExceeded: the op gave up after its deadline expired.
+	DeadlineExceeded
+)
+
+// Op is the operation under test. ctx carries the per-op deadline
+// (from the scheduled arrival, not the possibly-late dispatch); i is
+// the op's index in the arrival schedule, for deterministic per-op
+// decisions (key choice, mix selection) derived from (seed, i).
+type Op func(ctx context.Context, i int) Outcome
+
+// splitmix64 steps the schedule stream.
+func splitmix64(x uint64) (uint64, uint64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return x, z
+}
+
+// Key derives the deterministic per-op key stream shared by every
+// sweep that needs one: op i of a run seeded with seed always maps to
+// the same 64-bit draw, independent of scheduling.
+func Key(seed uint64, i int) uint64 {
+	_, z := splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+	return z
+}
+
+// ArrivalSchedule returns the deterministic open-loop arrival offsets
+// for a run: target rate arrivals/sec over duration d, from the
+// seeded stream. With poisson set, inter-arrival gaps are exponential
+// (a Poisson process — the memoryless arrivals real traffic
+// approximates, with the bursts that actually stress admission
+// control); otherwise gaps are uniform 1/rate (a pure paced load).
+// The same (rate, d, seed, poisson) always yields the same schedule.
+func ArrivalSchedule(rate float64, d time.Duration, seed uint64, poisson bool) []time.Duration {
+	if rate <= 0 || d <= 0 {
+		return nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	mean := float64(time.Second) / rate // ns
+	horizon := float64(d)
+	out := make([]time.Duration, 0, int(horizon/mean)+1)
+	t := 0.0
+	s := seed
+	for {
+		gap := mean
+		if poisson {
+			var z uint64
+			s, z = splitmix64(s)
+			// (0,1] uniform from the top 53 bits; never 0, so Log is finite.
+			u := (float64(z>>11) + 0.5) / (1 << 53)
+			gap = -math.Log(u) * mean
+		}
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		out = append(out, time.Duration(t))
+	}
+}
+
+// Result is one load run's accounting. Offered == OK+Shed+Deadline by
+// construction (every scheduled op is classified exactly once).
+type Result struct {
+	Offered  int
+	OK       int64
+	Shed     int64
+	Deadline int64
+	Elapsed  time.Duration
+	// Lat holds OK-op latency in ns, measured from the scheduled
+	// arrival to completion — so generator lateness and queueing both
+	// count, which is the honest open-loop number. (Closed-loop runs
+	// measure from op start; there is no schedule to be late against.)
+	Lat *stats.Hist
+}
+
+// Accounted reports whether every offered op was classified.
+func (r Result) Accounted() bool {
+	return int64(r.Offered) == r.OK+r.Shed+r.Deadline
+}
+
+// GoodputPerSec is the completed-within-deadline throughput.
+func (r Result) GoodputPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// ShedFrac and DeadlineFrac are the per-outcome shares of offered load.
+func (r Result) ShedFrac() float64 { return r.frac(r.Shed) }
+
+// DeadlineFrac is the fraction of offered ops that ran out their deadline.
+func (r Result) DeadlineFrac() float64 { return r.frac(r.Deadline) }
+
+func (r Result) frac(n int64) float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Offered)
+}
+
+// QuantileMs reports the p-quantile (0..1) of OK latency in
+// milliseconds.
+func (r Result) QuantileMs(p float64) float64 {
+	if r.Lat == nil {
+		return 0
+	}
+	return float64(r.Lat.Quantile(p)) / float64(time.Millisecond)
+}
+
+// OpenOpts configures an open-loop run.
+type OpenOpts struct {
+	Rate     float64       // target arrivals/sec (required)
+	Duration time.Duration // schedule horizon (required)
+	Deadline time.Duration // per-op budget from scheduled arrival; 0 = none
+	Seed     uint64        // schedule + key stream seed; 0 -> 1
+	Uniform  bool          // evenly paced arrivals instead of Poisson
+}
+
+// RunOpen drives op on the deterministic open-loop schedule: a
+// dispatcher sleeps to each arrival and launches the op in its own
+// goroutine, so a slow op never holds back the next arrival. Late
+// dispatch (the generator itself falling behind under extreme rates)
+// is charged to latency, not silently dropped.
+func RunOpen(op Op, o OpenOpts) Result {
+	sched := ArrivalSchedule(o.Rate, o.Duration, o.Seed, !o.Uniform)
+	lat := stats.NewShardedHist(0)
+	var ok, shed, dl atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, off := range sched {
+		arrival := start.Add(off)
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, arrival time.Time) {
+			defer wg.Done()
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			if o.Deadline > 0 {
+				ctx, cancel = context.WithDeadline(ctx, arrival.Add(o.Deadline))
+			}
+			out := op(ctx, i)
+			cancel()
+			switch out {
+			case OK:
+				ok.Add(1)
+				lat.Record(int64(time.Since(arrival)))
+			case Shed:
+				shed.Add(1)
+			default:
+				dl.Add(1)
+			}
+		}(i, arrival)
+	}
+	wg.Wait()
+	return Result{
+		Offered:  len(sched),
+		OK:       ok.Load(),
+		Shed:     shed.Load(),
+		Deadline: dl.Load(),
+		Elapsed:  time.Since(start),
+		Lat:      lat.Snapshot(),
+	}
+}
+
+// ClosedOpts configures a closed-loop run.
+type ClosedOpts struct {
+	Workers  int           // concurrent callers (required)
+	Duration time.Duration // run length (required)
+	Deadline time.Duration // per-op budget from op start; 0 = none
+	Seed     uint64        // key stream seed; 0 -> 1
+}
+
+// RunClosed drives op from a fixed worker pool, back-to-back — the
+// classic benchmark loop, kept as the comparison baseline. Each
+// worker owns a private histogram (allocation-free recording on the
+// hot path) merged at the end; op indices come from one shared
+// counter so the (seed, i) key stream matches RunOpen's.
+func RunClosed(op Op, o ClosedOpts) Result {
+	if o.Workers <= 0 || o.Duration <= 0 {
+		return Result{}
+	}
+	var ok, shed, dl atomic.Int64
+	var next atomic.Int64
+	merged := new(stats.Hist)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(o.Duration)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := new(stats.Hist)
+			for time.Now().Before(end) {
+				i := int(next.Add(1) - 1)
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if o.Deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, o.Deadline)
+				}
+				opStart := time.Now()
+				out := op(ctx, i)
+				cancel()
+				switch out {
+				case OK:
+					ok.Add(1)
+					h.Record(int64(time.Since(opStart)))
+				case Shed:
+					shed.Add(1)
+				default:
+					dl.Add(1)
+				}
+			}
+			mu.Lock()
+			merged.Merge(h)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return Result{
+		Offered:  int(next.Load()),
+		OK:       ok.Load(),
+		Shed:     shed.Load(),
+		Deadline: dl.Load(),
+		Elapsed:  time.Since(start),
+		Lat:      merged,
+	}
+}

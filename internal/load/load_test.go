@@ -1,0 +1,209 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sharded"
+)
+
+func TestArrivalScheduleDeterministic(t *testing.T) {
+	a := ArrivalSchedule(5000, 200*time.Millisecond, 7, true)
+	b := ArrivalSchedule(5000, 200*time.Millisecond, 7, true)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := ArrivalSchedule(5000, 200*time.Millisecond, 8, true)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestArrivalScheduleShape(t *testing.T) {
+	const rate, dur = 10000.0, 500 * time.Millisecond
+	// Uniform: exact spacing, exact count.
+	u := ArrivalSchedule(rate, dur, 1, false)
+	if got, want := len(u), int(rate*dur.Seconds())-1; got < want-1 || got > want+1 {
+		t.Fatalf("uniform schedule has %d arrivals, want ~%d", got, want)
+	}
+	for i := 1; i < len(u); i++ {
+		if u[i] <= u[i-1] {
+			t.Fatalf("non-monotone at %d", i)
+		}
+	}
+	// Poisson: mean inter-arrival within 10% of 1/rate over many draws.
+	p := ArrivalSchedule(rate, dur, 3, true)
+	if len(p) < 100 {
+		t.Fatalf("poisson schedule too short: %d", len(p))
+	}
+	meanGap := float64(p[len(p)-1]) / float64(len(p)-1)
+	wantGap := float64(time.Second) / rate
+	if r := math.Abs(meanGap-wantGap) / wantGap; r > 0.10 {
+		t.Fatalf("poisson mean gap %v, want %v (off by %.1f%%)",
+			time.Duration(meanGap), time.Duration(wantGap), r*100)
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			t.Fatalf("non-monotone at %d", i)
+		}
+	}
+	// Degenerate inputs.
+	if ArrivalSchedule(0, dur, 1, true) != nil || ArrivalSchedule(rate, 0, 1, true) != nil {
+		t.Fatal("degenerate schedule not empty")
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	if Key(1, 5) != Key(1, 5) {
+		t.Fatal("Key not deterministic")
+	}
+	if Key(1, 5) == Key(1, 6) || Key(1, 5) == Key(2, 5) {
+		t.Fatal("Key collisions across index/seed (stream too weak)")
+	}
+}
+
+// TestRunOpenConservation: every offered op is classified exactly once,
+// whatever mix of outcomes the op returns.
+func TestRunOpenConservation(t *testing.T) {
+	res := RunOpen(func(ctx context.Context, i int) Outcome {
+		switch Key(9, i) % 3 {
+		case 0:
+			return OK
+		case 1:
+			return Shed
+		default:
+			return DeadlineExceeded
+		}
+	}, OpenOpts{Rate: 20000, Duration: 150 * time.Millisecond, Seed: 9})
+	if res.Offered == 0 {
+		t.Fatal("no ops offered")
+	}
+	if !res.Accounted() {
+		t.Fatalf("accounting broken: offered=%d ok=%d shed=%d dl=%d",
+			res.Offered, res.OK, res.Shed, res.Deadline)
+	}
+	if res.Lat.Count() != uint64(res.OK) {
+		t.Fatalf("hist count %d != OK %d", res.Lat.Count(), res.OK)
+	}
+	if res.OK == 0 || res.Shed == 0 || res.Deadline == 0 {
+		t.Fatalf("outcome mix degenerate: %+v", res)
+	}
+}
+
+// TestRunOpenDeadline: ops that block until the context expires all
+// classify as deadline-exceeded, and the run ends promptly (the
+// open-loop driver never waits for stragglers beyond their deadline).
+func TestRunOpenDeadline(t *testing.T) {
+	start := time.Now()
+	res := RunOpen(func(ctx context.Context, i int) Outcome {
+		<-ctx.Done()
+		return DeadlineExceeded
+	}, OpenOpts{Rate: 2000, Duration: 100 * time.Millisecond, Deadline: 20 * time.Millisecond, Seed: 2})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("run took %v", el)
+	}
+	if res.Deadline != int64(res.Offered) || res.OK != 0 {
+		t.Fatalf("want all deadline-exceeded, got %+v", res)
+	}
+	if res.DeadlineFrac() != 1 {
+		t.Fatalf("DeadlineFrac = %v", res.DeadlineFrac())
+	}
+}
+
+// TestRunOpenGateConservation is the cancellation/shed conservation
+// suite over a real gate: an overloaded open-loop run sheds and times
+// out under -race, and afterwards the gate's permits balance.
+func TestRunOpenGateConservation(t *testing.T) {
+	const permits = 2
+	g := sharded.NewGate(permits, 2, 4)
+	res := RunOpen(func(ctx context.Context, i int) Outcome {
+		switch err := g.Acquire(ctx); {
+		case err == nil:
+			time.Sleep(500 * time.Microsecond) // service time: saturates 2 permits past ~4k/s
+			g.Release()
+			return OK
+		case errors.Is(err, sharded.ErrShed):
+			return Shed
+		default:
+			return DeadlineExceeded
+		}
+	}, OpenOpts{Rate: 20000, Duration: 200 * time.Millisecond, Deadline: 5 * time.Millisecond, Seed: 4})
+	if !res.Accounted() {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("5x overload shed nothing: %+v", res)
+	}
+	st := g.Stats()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not quiesced: %+v", st)
+	}
+	if st.Admitted != res.OK {
+		t.Fatalf("admitted %d != OK %d", st.Admitted, res.OK)
+	}
+}
+
+func TestRunClosed(t *testing.T) {
+	var calls atomic.Int64
+	res := RunClosed(func(ctx context.Context, i int) Outcome {
+		calls.Add(1)
+		return OK
+	}, ClosedOpts{Workers: 4, Duration: 50 * time.Millisecond})
+	if res.Offered == 0 || int64(res.Offered) != calls.Load() {
+		t.Fatalf("offered %d, calls %d", res.Offered, calls.Load())
+	}
+	if !res.Accounted() || res.OK != int64(res.Offered) {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.Lat.Count() != uint64(res.OK) {
+		t.Fatalf("hist count %d != OK %d", res.Lat.Count(), res.OK)
+	}
+	if res.GoodputPerSec() <= 0 {
+		t.Fatal("zero goodput")
+	}
+	// Degenerate options.
+	if r := RunClosed(nil, ClosedOpts{}); r.Offered != 0 {
+		t.Fatal("degenerate closed run offered ops")
+	}
+}
+
+func BenchmarkArrivalSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// ~10k Poisson arrivals per schedule.
+		s := ArrivalSchedule(10000, time.Second, uint64(i)+1, true)
+		if len(s) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkClosedLoopOverhead(b *testing.B) {
+	// Generator overhead per op: a no-op Op through the closed-loop
+	// driver's classify-and-record path.
+	b.ReportAllocs()
+	res := RunClosed(func(ctx context.Context, i int) Outcome { return OK },
+		ClosedOpts{Workers: 1, Duration: time.Duration(b.N) * 100 * time.Nanosecond})
+	_ = res
+}

@@ -1,0 +1,72 @@
+package sharded
+
+import (
+	"runtime"
+	"time"
+)
+
+// Acquisition backoff. The original Semaphore.Acquire hot-spun on
+// runtime.Gosched(): under contention every blocked goroutine burned a
+// full core re-sweeping the stripes, and under overload the sweeps
+// themselves became the contention (each failed CAS dirties the stripe
+// line for the releaser it is waiting on). The fix is the classic
+// bounded exponential backoff, staged to keep the uncontended path
+// free:
+//
+//  1. spin tier — a few immediate re-sweeps, for permits released
+//     within nanoseconds;
+//  2. yield tier — runtime.Gosched() rounds, for permits released
+//     within a scheduling quantum;
+//  3. sleep tier — exponentially growing, capped sleeps with
+//     deterministic jitter, for genuine scarcity.
+//
+// The jitter stream is seeded from the goroutine-affine stripe hint
+// and stepped by xorshift, so it needs no global RNG, costs no
+// synchronization, and — given a fixed seed — replays the same
+// schedule, which is what backoffSchedule's tests pin. Jitter draws
+// from [cap/2, cap): desynchronizing sleepers matters more than the
+// exact mean, and keeping at least half the nominal backoff preserves
+// the exponential envelope.
+type backoff struct {
+	attempt int
+	rng     uint64
+}
+
+const (
+	backoffSpin     = 4                      // tier-1 immediate retries
+	backoffYield    = 8                      // tier-2 Gosched rounds
+	backoffSleepMin = 2 * time.Microsecond   // first tier-3 sleep cap
+	backoffSleepMax = 256 * time.Microsecond // bounded: never sleep longer
+)
+
+// newBackoff seeds the jitter stream from the caller's stripe hint.
+func newBackoff() backoff {
+	return backoff{rng: stripeHint() | 1}
+}
+
+// next advances one attempt and returns how long to sleep: 0 means the
+// tier already waited in place (spin or yield). Callers that must poll
+// cancellation sleep through their own timer; plain callers just
+// time.Sleep the result.
+func (b *backoff) next() time.Duration {
+	a := b.attempt
+	b.attempt++
+	switch {
+	case a < backoffSpin:
+		return 0
+	case a < backoffSpin+backoffYield:
+		runtime.Gosched()
+		return 0
+	}
+	shift := uint(a - backoffSpin - backoffYield)
+	d := backoffSleepMin << shift
+	if shift >= 16 || d > backoffSleepMax || d <= 0 {
+		d = backoffSleepMax
+	}
+	// xorshift64 step; the low bits are fine for a jitter draw.
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	half := d / 2
+	return half + time.Duration(b.rng%uint64(half))
+}

@@ -1,0 +1,104 @@
+package sharded
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the tier structure and the deterministic
+// jitter: same seed, same schedule; sleeps stay within the bounded
+// exponential envelope [cap/2, cap] up to backoffSleepMax.
+func TestBackoffSchedule(t *testing.T) {
+	a := backoff{rng: 12345}
+	b := backoff{rng: 12345}
+	capFor := func(attempt int) time.Duration {
+		shift := uint(attempt - backoffSpin - backoffYield)
+		d := backoffSleepMin << shift
+		if shift >= 16 || d > backoffSleepMax || d <= 0 {
+			d = backoffSleepMax
+		}
+		return d
+	}
+	for i := 0; i < 64; i++ {
+		da, db := a.next(), b.next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		switch {
+		case i < backoffSpin+backoffYield:
+			if da != 0 {
+				t.Fatalf("attempt %d: spin/yield tier slept %v", i, da)
+			}
+		default:
+			c := capFor(i)
+			if da < c/2 || da >= c {
+				t.Fatalf("attempt %d: sleep %v outside jitter envelope [%v, %v)", i, da, c/2, c)
+			}
+			if da > backoffSleepMax {
+				t.Fatalf("attempt %d: sleep %v exceeds bound %v", i, da, backoffSleepMax)
+			}
+		}
+	}
+}
+
+// TestBackoffSeedsDiffer: distinct seeds must desynchronize — that is
+// the jitter's whole job.
+func TestBackoffSeedsDiffer(t *testing.T) {
+	a := backoff{rng: 1}
+	b := backoff{rng: 99999}
+	diff := false
+	for i := 0; i < 32; i++ {
+		if a.next() != b.next() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("two seeds produced identical 32-step schedules")
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	if !s.AcquireTimeout(time.Millisecond) {
+		t.Fatal("timeout acquire failed with a permit free")
+	}
+	// Drained: must report false, after roughly the budget.
+	start := time.Now()
+	if s.AcquireTimeout(20 * time.Millisecond) {
+		t.Fatal("timeout acquire succeeded with no permits")
+	}
+	if el := time.Since(start); el < 15*time.Millisecond || el > 500*time.Millisecond {
+		t.Fatalf("20ms timeout waited %v", el)
+	}
+	if s.AcquireTimeout(0) {
+		t.Fatal("zero-budget acquire succeeded with no permits")
+	}
+	s.Release()
+	if !s.AcquireTimeout(0) {
+		t.Fatal("zero-budget acquire failed with a permit free (fast path)")
+	}
+	s.Release()
+	if got := s.Value(); got != 1 {
+		t.Fatalf("permits after timeout storm = %d, want 1", got)
+	}
+}
+
+// TestAcquireTimeoutContended: a permit released mid-wait is picked up
+// well before the deadline.
+func TestAcquireTimeoutContended(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	s.Acquire()
+	done := make(chan bool)
+	go func() { done <- s.AcquireTimeout(5 * time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	s.Release()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter missed the released permit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not wake after release")
+	}
+	s.Release()
+}

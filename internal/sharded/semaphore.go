@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // semStripe keeps each permit cell on its own cache line.
@@ -97,31 +98,100 @@ func (s *Semaphore) TryAcquire() bool {
 	return false
 }
 
-// Acquire takes one permit, spinning (with scheduler yields) until one
-// is available.
+// Acquire takes one permit, waiting with bounded exponential backoff
+// (see backoff.go) until one is available. The uncontended path is one
+// stripe sweep with no backoff machinery touched.
 func (s *Semaphore) Acquire() {
-	for !s.TryAcquire() {
-		runtime.Gosched()
+	if s.TryAcquire() {
+		return
+	}
+	b := newBackoff()
+	for {
+		if s.TryAcquire() {
+			return
+		}
+		if d := b.next(); d > 0 {
+			time.Sleep(d)
+		}
 	}
 }
 
-// AcquireContext takes one permit, spinning until one is available or
+// AcquireContext takes one permit, waiting until one is available or
 // ctx is done, in which case it returns ctx.Err() and takes nothing.
-// The cancellation check costs one atomic load per empty sweep, so the
-// fast path is exactly Acquire's. This is the striped analogue of the
+// The fast path is exactly Acquire's; a blocked acquirer backs off
+// like Acquire but sleeps through a reusable timer raced against
+// ctx.Done(), so cancellation is seen promptly without a spinning
+// goroutine burning a core (the old implementation Gosched-spun at
+// full speed under contention). This is the striped analogue of the
 // simulator's bounded acquires (simsync.BoundedLock): a worker stuck
 // behind a drained pool can give up instead of wedging its pipeline.
 func (s *Semaphore) AcquireContext(ctx context.Context) error {
+	if s.TryAcquire() {
+		return nil
+	}
+	b := newBackoff()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		if s.TryAcquire() {
 			return nil
 		}
+		d := b.next()
+		if d <= 0 {
+			// Spin/yield tiers: one non-blocking cancellation poll.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		default:
+		case <-timer.C:
 		}
-		runtime.Gosched()
+	}
+}
+
+// AcquireTimeout takes one permit, waiting at most d, and reports
+// whether it succeeded. d <= 0 degenerates to one TryAcquire sweep.
+// Unlike AcquireContext it allocates nothing on the wait path (no
+// context, no timer), so it is the deadline primitive the saturation
+// harness drives in tight loops.
+func (s *Semaphore) AcquireTimeout(d time.Duration) bool {
+	if s.TryAcquire() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	b := newBackoff()
+	for {
+		if s.TryAcquire() {
+			return true
+		}
+		w := b.next()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if w > 0 {
+			if w > remain {
+				w = remain
+			}
+			time.Sleep(w)
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package stats
+
+// Fixed-bucket log-spaced latency histogram. The harness records one
+// latency per operation inside tight loops, so the recorder must be
+// allocation-free and branch-light; the load generator runs many
+// workers, so histograms must merge exactly; and the tables report
+// p50/p95/p99, so quantiles need a known, bounded relative error.
+//
+// Bucket layout (HDR-style, base 2): values below histSub are exact
+// (one bucket per integer). Above that, each power-of-two octave is
+// split into histSub linear sub-buckets, so a bucket's width is at
+// most 1/histSub of its lower edge. Quantile reports a bucket's upper
+// edge, giving the documented one-sided bound: for the nearest-rank
+// sample x at that quantile,
+//
+//	x <= Quantile(p) <= x * (1 + 1/histSub)
+//
+// (exact for x < histSub). With histSub = 32 that is a worst-case
+// overestimate of 3.125% — far below run-to-run latency noise — from a
+// fixed 15 KiB count array that covers every non-negative int64
+// without configuration.
+
+import "math/bits"
+
+const (
+	// histSubBits fixes the sub-bucket resolution: 2^histSubBits
+	// linear sub-buckets per octave, hence a 1/histSub relative-error
+	// bound on Quantile.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+
+	// histBuckets covers all of int64: the top value (2^63 - 1) lands
+	// in exponent 63-1-histSubBits = 57, and each exponent e >= 0
+	// contributes histSub buckets starting at index (e+1)*histSub.
+	histMaxExp  = 63 - 1 - histSubBits
+	histBuckets = (histMaxExp + 2) * histSub
+)
+
+// Hist is the fixed-bucket log-spaced histogram. The zero value is
+// ready to use; Record never allocates. Hist is not concurrency-safe —
+// give each worker its own and Merge them (see ShardedHist for the
+// shared-recorder variant).
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64
+}
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 - histSubBits
+	return e<<histSubBits + int(v>>uint(e))
+}
+
+// histUpper is the largest value a bucket holds (the value Quantile
+// reports).
+func histUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	e := uint(idx>>histSubBits - 1)
+	sub := int64(idx - int(e)<<histSubBits)
+	return (sub+1)<<e - 1
+}
+
+// Record adds one sample. Negative values clamp to zero (latencies can
+// come out negative from clock adjustments; they mean "fast"). The hot
+// path is a bit-scan, two adds, and one array increment — zero
+// allocations.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count reports the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Sum reports the running sum of recorded samples (saturation is the
+// caller's concern; latencies in ns overflow int64 only after ~292
+// years of recorded time).
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Mean reports the exact mean of recorded samples (the sum is kept
+// outside the buckets, so the mean carries no bucketing error).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Merge adds o's samples into h. Merging is exact (bucket-wise
+// addition), so it is associative and commutative: any merge tree over
+// per-worker histograms yields the same histogram.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Reset clears the histogram for reuse.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// Quantile returns the p-quantile (0 <= p <= 1) as the upper edge of
+// the bucket holding the nearest-rank sample, so it never
+// underestimates and overestimates by at most a factor of 1+1/histSub
+// (see the package comment for the derivation). An empty histogram
+// reports 0.
+func (h *Hist) Quantile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Nearest-rank: the ceil(p*n)-th smallest sample, at least the 1st.
+	target := uint64(p * float64(h.total))
+	if float64(target) < p*float64(h.total) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return histUpper(i)
+		}
+	}
+	// Unreachable: cum == h.total >= target after the loop.
+	return histUpper(histBuckets - 1)
+}

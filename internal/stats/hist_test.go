@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// splitmix64 gives the tests their own deterministic stream.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// logUniform draws values spread across many octaves — the shape that
+// stresses log-spaced buckets (latencies span ns to seconds).
+func logUniform(s *uint64) int64 {
+	shift := splitmix64(s) % 40
+	return int64(splitmix64(s) % (uint64(1)<<(shift+1) | 1))
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, and
+	// the bucket's width must respect the relative-error bound.
+	var s uint64 = 7
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1 << 20, math.MaxInt64}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, logUniform(&s))
+	}
+	for _, v := range vals {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		up := histUpper(idx)
+		if v > up {
+			t.Fatalf("value %d above its bucket's upper edge %d", v, up)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Fatalf("value %d at or below the previous bucket's upper edge %d", v, histUpper(idx-1))
+		}
+		// Width bound: upper <= v * (1 + 1/histSub) for v >= histSub.
+		if v >= histSub && up-v > v/histSub {
+			t.Fatalf("bucket upper %d exceeds %d * (1+1/%d)", up, v, histSub)
+		}
+		if v < histSub && up != v {
+			t.Fatalf("small value %d not exact: upper %d", v, up)
+		}
+	}
+}
+
+// TestHistQuantileBound is the property test pinning Quantile against
+// the sort-based reference: for random log-uniform samples, Quantile
+// must sit between the nearest-rank order statistic and that statistic
+// scaled by the documented 1+1/histSub error bound, and must sandwich
+// against stats.Percentile evaluated one rank either side (Percentile
+// interpolates between ranks, so the comparison widens by one rank,
+// not by any value tolerance).
+func TestHistQuantileBound(t *testing.T) {
+	var s uint64 = 42
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + int(splitmix64(&s)%5000)
+		vals := make([]int64, n)
+		var h Hist
+		fs := make([]float64, n)
+		for i := range vals {
+			vals[i] = logUniform(&s)
+			h.Record(vals[i])
+			fs[i] = float64(vals[i])
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			q := h.Quantile(p)
+			// Nearest-rank reference.
+			rank := int(math.Ceil(p * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := sorted[rank-1]
+			if q < truth {
+				t.Fatalf("trial %d p=%v: Quantile %d below nearest-rank sample %d", trial, p, q, truth)
+			}
+			if q > truth+truth/histSub {
+				t.Fatalf("trial %d p=%v: Quantile %d exceeds error bound on %d (max %d)",
+					trial, p, q, truth, truth+truth/histSub)
+			}
+			// Sort-based Percentile sandwich, one rank of slack for its
+			// interpolation.
+			slack := 100.0 / float64(n)
+			lo := Percentile(fs, math.Max(0, p*100-slack))
+			hi := Percentile(fs, math.Min(100, p*100+slack))
+			if float64(q) < lo {
+				t.Fatalf("trial %d p=%v: Quantile %d below Percentile lower sandwich %g", trial, p, q, lo)
+			}
+			if float64(q) > hi*(1+1.0/histSub)+1 {
+				t.Fatalf("trial %d p=%v: Quantile %d above Percentile upper sandwich %g", trial, p, q, hi)
+			}
+		}
+	}
+}
+
+func TestHistMergeAssociative(t *testing.T) {
+	var s uint64 = 9
+	mk := func() *Hist {
+		h := new(Hist)
+		n := int(splitmix64(&s) % 3000)
+		for i := 0; i < n; i++ {
+			h.Record(logUniform(&s))
+		}
+		return h
+	}
+	a, b, c := mk(), mk(), mk()
+	clone := func(h *Hist) *Hist { cp := *h; return &cp }
+
+	left := clone(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := clone(b)
+	bc.Merge(c)
+	right := clone(a)
+	right.Merge(bc)
+
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("(a+b)+c != a+(b+c)")
+	}
+
+	comm := clone(b)
+	comm.Merge(a)
+	ab := clone(a)
+	ab.Merge(b)
+	if !reflect.DeepEqual(ab, comm) {
+		t.Fatal("a+b != b+a")
+	}
+	if want := a.Count() + b.Count() + c.Count(); left.Count() != want {
+		t.Fatalf("merged count %d, want %d", left.Count(), want)
+	}
+	if want := a.Sum() + b.Sum() + c.Sum(); left.Sum() != want {
+		t.Fatalf("merged sum %d, want %d", left.Sum(), want)
+	}
+}
+
+// TestHistRecordAllocs is the allocation-budget test: Record must be
+// allocation-free so it can sit inside per-op hot loops.
+func TestHistRecordAllocs(t *testing.T) {
+	h := new(Hist)
+	var s uint64 = 3
+	vals := make([]int64, 256)
+	for i := range vals {
+		vals[i] = logUniform(&s)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, v := range vals {
+			h.Record(v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates: %v allocs per 256 records, want 0", allocs)
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Quantile(1) != 0 {
+		t.Fatalf("negative record did not clamp: q100=%d", h.Quantile(1))
+	}
+	h.Record(7)
+	if got := h.Quantile(1); got != 7 {
+		t.Fatalf("q100 = %d, want 7 (exact below %d)", got, histSub)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 3.5 {
+		t.Fatalf("mean = %v, want 3.5", got)
+	}
+	h.Record(math.MaxInt64)
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("max-value quantile = %d", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(1) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestShardedHist(t *testing.T) {
+	sh := NewShardedHist(4)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s = uint64(w + 1)
+			for i := 0; i < per; i++ {
+				sh.Record(logUniform(&s))
+			}
+		}()
+	}
+	wg.Wait()
+	h := sh.Snapshot()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("snapshot count = %d, want %d (lost records)", got, workers*per)
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	var s uint64 = 11
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = logUniform(&s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(vals[i&1023])
+	}
+}
+
+func BenchmarkHistQuantile(b *testing.B) {
+	var h Hist
+	var s uint64 = 11
+	for i := 0; i < 100000; i++ {
+		h.Record(logUniform(&s))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkShardedHistRecord(b *testing.B) {
+	sh := NewShardedHist(0)
+	b.RunParallel(func(pb *testing.PB) {
+		var s uint64 = 5
+		for pb.Next() {
+			sh.Record(logUniform(&s))
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedHist is the shared-recorder variant of Hist for callers whose
+// recording goroutines are anonymous and short-lived (HTTP handlers,
+// the open-loop generator's one-goroutine-per-arrival ops), where
+// per-worker histograms have no owner to merge. Recording picks a
+// stripe by try-lock sweep from a rotating start, so concurrent
+// recorders land on different stripes instead of convoying on one
+// mutex; the blocking lock on the hint stripe is only the fallback
+// when every stripe is busy.
+//
+// This is deliberately heavier than Hist.Record (one atomic add plus a
+// try-lock): use Hist directly when each worker can own one.
+type ShardedHist struct {
+	stripes []histStripe
+	mask    uint32
+	next    atomic.Uint32
+}
+
+type histStripe struct {
+	mu sync.Mutex
+	h  Hist
+	// The Hist is 15 KiB, so stripes never share a cache line; no
+	// padding needed.
+}
+
+// NewShardedHist returns a recorder with at least stripes stripes
+// (rounded up to a power of two); stripes <= 0 picks 8.
+func NewShardedHist(stripes int) *ShardedHist {
+	if stripes <= 0 {
+		stripes = 8
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &ShardedHist{stripes: make([]histStripe, n), mask: uint32(n - 1)}
+}
+
+// Record adds one sample to some stripe.
+func (s *ShardedHist) Record(v int64) {
+	start := s.next.Add(1)
+	for i := uint32(0); i < uint32(len(s.stripes)); i++ {
+		st := &s.stripes[(start+i)&s.mask]
+		if st.mu.TryLock() {
+			st.h.Record(v)
+			st.mu.Unlock()
+			return
+		}
+	}
+	st := &s.stripes[start&s.mask]
+	st.mu.Lock()
+	st.h.Record(v)
+	st.mu.Unlock()
+}
+
+// Snapshot merges the stripes into one Hist. It locks each stripe in
+// turn, so concurrent with recorders it is the usual
+// linearizable-enough statistics read: every Record completed before
+// Snapshot began is included.
+func (s *ShardedHist) Snapshot() *Hist {
+	out := new(Hist)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out.Merge(&st.h)
+		st.mu.Unlock()
+	}
+	return out
+}
