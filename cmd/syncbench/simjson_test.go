@@ -156,6 +156,62 @@ func TestSimScaleLabelRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSimInlineTwinLabelRoundTrip pins the continuation-dispatch twin
+// labels (PR 10): an inline/noinline pair on the same (model, procs)
+// must land in the trajectory as distinct rows — the "-noinline"
+// workload suffix is the key, exactly like PR 4's "-nowin" twins — and
+// both rows must survive the write/load round trip, including a twin
+// that is simultaneously windows-off (suffixes compose in battery
+// order: "-nowin-noinline").
+func TestSimInlineTwinLabelRoundTrip(t *testing.T) {
+	row := func(workload string, ops float64) simBenchResult {
+		return simBenchResult{
+			Workload: workload, Model: "cluster", Procs: 32,
+			Scale: simScaleLabel(32), SimOpsPerSec: ops,
+		}
+	}
+	snap := simBenchSnapshot{
+		Date:  "2026-08-08",
+		Label: "inline continuation dispatch",
+		Results: []simBenchResult{
+			row("lock/tas", 19e6),
+			row("lock/tas-noinline", 7e6),
+			row("lock/tas-nowin", 6e6),
+			row("lock/tas-nowin-noinline", 5e6),
+		},
+	}
+	keys := map[string]bool{}
+	for _, r := range snap.Results {
+		k := r.Workload + "@" + r.Model + "/" + r.Scale
+		if keys[k] {
+			t.Fatalf("duplicate row key %q: dispatch twin suffix does not disambiguate", k)
+		}
+		keys[k] = true
+	}
+
+	var f simBenchFile
+	f, err := mergeSimSnapshot(f, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Experiment = "round trip"
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSimBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Snapshots) != 1 || !reflect.DeepEqual(got.Snapshots[0], snap) {
+		t.Fatalf("twin snapshot changed across the round trip:\n  wrote %+v\n  read  %+v", snap, got.Snapshots)
+	}
+}
+
 // TestMergeSimSnapshotRefusesDuplicateLabel pins the duplicate guard:
 // the same (date, label) in a different quick/full mode must be
 // refused, not appended as a silent second point, and the trajectory

@@ -81,9 +81,9 @@ func Registry() []Experiment {
 		{IDs: []string{"F6"}, Title: "Critical-section length crossover", Run: runF6},
 		{IDs: []string{"F7"}, Title: "Barrier sweep, bus machine", Run: runF7},
 		{IDs: []string{"F8"}, Title: "Barrier sweep, NUMA machine", Run: runF8},
-		{IDs: []string{"F9"}, Title: "Reader-writer throughput vs read fraction (real runtime)", Run: runF9},
+		{IDs: []string{"F9", "F9-p50", "F9-p99", "F9-slow"}, Title: "Reader-writer throughput and latency percentiles vs read fraction (real runtime)", Run: runF9},
 		{IDs: []string{"F10"}, Title: "Producer-consumer pipeline throughput (real runtime)", Run: runF10},
-		{IDs: []string{"F11"}, Title: "Real-runtime lock throughput vs goroutines", Run: runF11},
+		{IDs: []string{"F11", "F11-p50", "F11-p99", "F11-slow"}, Title: "Real-runtime lock throughput and latency percentiles vs goroutines", Run: runF11},
 		{IDs: []string{"F12"}, Title: "Spin vs spin-park under oversubscription (the futex story)", Run: runF12},
 		{IDs: []string{"F13"}, Title: "Simulated reader-writer locks vs read fraction", Run: runF13},
 		{IDs: []string{"F14"}, Title: "Simulated semaphores: bounded-buffer producer/consumer", Run: runF14},

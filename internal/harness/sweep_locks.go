@@ -229,13 +229,24 @@ func runF11(o Options) ([]Table, error) {
 		gs = append(gs, g)
 	}
 	// Real runtime: cells time the host and must not run concurrently;
-	// the watchdog turns a wedged lock into a "!timeout" cell.
+	// the watchdog turns a wedged lock into a "!timeout" cell. The
+	// latency tables come from the same cells as the throughput table —
+	// one measurement, four views.
 	return runMatrixTimeout(realCellTimeout, algosFor(o, locks.Registry),
 		func(li locks.Info) string { return li.Name },
 		"goroutines", intAxis(gs),
 		[]metricSpec{{ID: "F11",
 			Title: "ns per acquire/release pair vs goroutines (real runtime)",
-			Note:  "same qualitative ordering as F1; absolute values are Go-runtime specific"}},
+			Note:  "same qualitative ordering as F1; absolute values are Go-runtime specific"},
+			{ID: "F11-p50",
+				Title: "p50 acquire→release latency (ns) vs goroutines (real runtime)",
+				Note:  "the median pair stays near the uncontended cost until the queue builds"},
+			{ID: "F11-p99",
+				Title: "p99 acquire→release latency (ns) vs goroutines (real runtime)",
+				Note:  "unfair locks grow a long tail under contention; queue locks keep p99 near p50 × queue depth"},
+			{ID: "F11-slow",
+				Title: "contention proxy: fraction of acquire→release pairs slower than 2× the median",
+				Note:  "≈0 uncontended; rises with goroutines as ops start queueing"}},
 		func(ai int, li locks.Info, _ *machine.Pool) ([]float64, error) {
 			g := gs[ai]
 			res, ok := workload.RunCriticalSections(li.New(g), workload.CSOpts{
@@ -244,7 +255,8 @@ func runF11(o Options) ([]Table, error) {
 			if !ok {
 				return nil, fmt.Errorf("F11: %s violated exclusion", li.Name)
 			}
-			return []float64{res.NsPerOp}, nil
+			return []float64{res.NsPerOp,
+				float64(res.Lat.P50Ns), float64(res.Lat.P99Ns), res.Lat.SlowFrac}, nil
 		})
 }
 
@@ -261,8 +273,12 @@ func runF12(o Options) ([]Table, error) {
 	t := Table{
 		ID:    "F12",
 		Title: "Mechanism with spin vs spin-park waiters under oversubscription",
-		Note:  "pure spin collapses past 1 waiter per CPU; parking degrades gracefully — why futex-style waiting superseded these primitives",
-		Cols:  []string{"goroutines", "spin ns/op", "spin-park ns/op", "spin/park"},
+		Note:  "pure spin collapses past 1 waiter per CPU; parking degrades gracefully — why futex-style waiting superseded these primitives. slow = fraction of pairs beyond 2× the median (contention proxy)",
+		Cols: []string{"goroutines", "spin ns/op", "spin p50/p99 ns", "spin slow",
+			"spin-park ns/op", "park p50/p99 ns", "park slow", "spin/park"},
+	}
+	pctl := func(l workload.LatSummary) string {
+		return fmt.Sprintf("%s/%s", Fmt(float64(l.P50Ns)), Fmt(float64(l.P99Ns)))
 	}
 	for _, mult := range []int{1, 2, 4} {
 		g := n * mult
@@ -277,7 +293,9 @@ func runF12(o Options) ([]Table, error) {
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("F12: exclusion violated")
 		}
-		t.AddRow(Fmt(float64(g)), Fmt(spinRes.NsPerOp), Fmt(parkRes.NsPerOp),
+		t.AddRow(Fmt(float64(g)),
+			Fmt(spinRes.NsPerOp), pctl(spinRes.Lat), Fmt(spinRes.Lat.SlowFrac),
+			Fmt(parkRes.NsPerOp), pctl(parkRes.Lat), Fmt(parkRes.Lat.SlowFrac),
 			fmt.Sprintf("%.2f", spinRes.NsPerOp/parkRes.NsPerOp))
 	}
 	return []Table{t}, nil

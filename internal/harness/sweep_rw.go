@@ -34,12 +34,22 @@ func runF9(o Options) ([]Table, error) {
 		axis[i] = fmt.Sprintf("%.2f", f)
 	}
 	// Real runtime: cells time the host and must not run concurrently;
-	// the watchdog turns a wedged lock into a "!timeout" cell.
-	return runMatrixTimeout(realCellTimeout, algos, func(i locks.RWInfo) string { return i.Name + " ops/s" },
+	// the watchdog turns a wedged lock into a "!timeout" cell. The
+	// latency tables share the throughput table's cells.
+	return runMatrixTimeout(realCellTimeout, algos, func(i locks.RWInfo) string { return i.Name },
 		"read fraction", axis,
 		[]metricSpec{{ID: "F9",
-			Title: fmt.Sprintf("Reader-writer throughput vs read fraction (%d goroutines, real runtime)", gor),
-			Note:  "rw locks overtake the plain mutex as the read fraction approaches 1; the sharded lock pulls ahead at high read fractions and pays for it on writes"}},
+			Title: fmt.Sprintf("Reader-writer throughput (ops/s) vs read fraction (%d goroutines, real runtime)", gor),
+			Note:  "rw locks overtake the plain mutex as the read fraction approaches 1; the sharded lock pulls ahead at high read fractions and pays for it on writes"},
+			{ID: "F9-p50",
+				Title: fmt.Sprintf("p50 section latency (ns) vs read fraction (%d goroutines, real runtime)", gor),
+				Note:  "read-mostly mixes shrink the median as readers overlap"},
+			{ID: "F9-p99",
+				Title: fmt.Sprintf("p99 section latency (ns) vs read fraction (%d goroutines, real runtime)", gor),
+				Note:  "the tail is the writers' story: writer-preference keeps it bounded at high read fractions, reader-biased designs let it stretch"},
+			{ID: "F9-slow",
+				Title: "contention proxy: fraction of sections slower than 2× the median",
+				Note:  "≈0 when readers dominate and overlap; mixed fractions queue the most"}},
 		func(ai int, info locks.RWInfo, _ *machine.Pool) ([]float64, error) {
 			res, ok := workload.RunReadMix(info.New(gor), workload.RWOpts{
 				Goroutines: gor, Iters: iters, ReadFraction: fracs[ai], Work: 300,
@@ -48,7 +58,8 @@ func runF9(o Options) ([]Table, error) {
 				return nil, fmt.Errorf("F9: %s invariant broken at fraction %v", info.Name, fracs[ai])
 			}
 			o.progressf("  rw %s frac=%.2f: %.0f ops/s\n", info.Name, fracs[ai], res.OpsPerSec)
-			return []float64{res.OpsPerSec}, nil
+			return []float64{res.OpsPerSec,
+				float64(res.Lat.P50Ns), float64(res.Lat.P99Ns), res.Lat.SlowFrac}, nil
 		})
 }
 

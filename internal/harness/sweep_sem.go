@@ -25,8 +25,13 @@ func runF10(o Options) ([]Table, error) {
 	t := Table{
 		ID:    "F10",
 		Title: "Bounded-buffer pipeline throughput (semaphore + mutex, real runtime)",
-		Note:  "throughput rises with workers until buffer contention dominates",
-		Cols:  []string{"producers=consumers", "items/s (spin-park)", "items/s (spin)", "validated"},
+		Note:  "throughput rises with workers until buffer contention dominates. slow = fraction of push/pop ops beyond 2× the median latency (contention proxy)",
+		Cols: []string{"producers=consumers",
+			"items/s (spin-park)", "park p50/p99 ns", "park slow",
+			"items/s (spin)", "spin p50/p99 ns", "spin slow", "validated"},
+	}
+	pctl := func(l workload.LatSummary) string {
+		return fmt.Sprintf("%s/%s", Fmt(float64(l.P50Ns)), Fmt(float64(l.P99Ns)))
 	}
 	for _, w := range []int{1, 2, 4, 8} {
 		park := workload.RunPipeline(workload.PipelineOpts{
@@ -39,7 +44,9 @@ func runF10(o Options) ([]Table, error) {
 		if !park.SumValidated || !spin.SumValidated {
 			okStr = "NO"
 		}
-		t.AddRow(Fmt(float64(w)), Fmt(park.ItemsPerSec), Fmt(spin.ItemsPerSec), okStr)
+		t.AddRow(Fmt(float64(w)),
+			Fmt(park.ItemsPerSec), pctl(park.Lat), Fmt(park.Lat.SlowFrac),
+			Fmt(spin.ItemsPerSec), pctl(spin.Lat), Fmt(spin.Lat.SlowFrac), okStr)
 	}
 	return []Table{t}, nil
 }

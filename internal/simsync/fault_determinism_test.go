@@ -45,9 +45,9 @@ func TestFaultDeterminismLocks(t *testing.T) {
 		for _, info := range Locks() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
-			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows, noInline bool) (machine.Stats, error) {
 				res, err := RunLock(
-					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, NoInlineDispatch: noInline, Faults: plan},
 					info, LockOpts{Iters: 20, CS: 25, Think: 50, CheckMutex: true})
 				return res.Stats, err
 			})
@@ -61,9 +61,9 @@ func TestFaultDeterminismBarriers(t *testing.T) {
 		for _, info := range Barriers() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
-			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows, noInline bool) (machine.Stats, error) {
 				res, err := RunBarrier(
-					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, NoInlineDispatch: noInline, Faults: plan},
 					info, BarrierOpts{Episodes: 10, Work: 150})
 				return res.Stats, err
 			})
@@ -77,9 +77,9 @@ func TestFaultDeterminismRWLocks(t *testing.T) {
 		for _, info := range RWLocks() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
-			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows, noInline bool) (machine.Stats, error) {
 				res, err := RunRW(
-					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, NoInlineDispatch: noInline, Faults: plan},
 					info, RWOpts{Iters: 20, ReadFraction: 0.8, Work: 40, Think: 60})
 				return res.Stats, err
 			})
@@ -93,9 +93,9 @@ func TestFaultDeterminismSemaphores(t *testing.T) {
 		for _, info := range Semaphores() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
-			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows, noInline bool) (machine.Stats, error) {
 				res, err := RunProducerConsumer(
-					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, NoInlineDispatch: noInline, Faults: plan},
 					info, PCOpts{Items: 40, Capacity: 4, Work: 20})
 				return res.Stats, err
 			})
@@ -109,9 +109,9 @@ func TestFaultDeterminismCounters(t *testing.T) {
 		for _, info := range Counters() {
 			info := info
 			name := fmt.Sprintf("%s/%s/P%d/faulted", tp.Name(), info.Name, procs)
-			assertIdentical(t, name, func(noWindows bool) (machine.Stats, error) {
+			assertIdentical(t, name, func(noWindows, noInline bool) (machine.Stats, error) {
 				res, err := RunCounter(
-					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, Faults: plan},
+					machine.Config{Procs: procs, Topo: tp, Seed: 7, NoSpinWindows: noWindows, NoInlineDispatch: noInline, Faults: plan},
 					info, CounterOpts{Incs: 30, Think: 20})
 				return res.Stats, err
 			})
@@ -139,28 +139,40 @@ func TestFaultDeterminismCrashRunner(t *testing.T) {
 				info := mustLock(t, lk)
 				name := fmt.Sprintf("%s/%s/P%d/crash", tp.Name(), lk, procs)
 				opts := FaultLockOpts{Iters: 12, CS: 25, Think: 50, Budget: 2048, MaxSteps: 500_000}
-				measure := func(noWindows bool) (FaultLockResult, error) {
+				measure := func(noWindows, noInline bool) (FaultLockResult, error) {
 					return RunLockFaulted(nil,
-						machine.Config{Procs: procs, Topo: tp, Seed: 11, NoSpinWindows: noWindows},
+						machine.Config{Procs: procs, Topo: tp, Seed: 11, NoSpinWindows: noWindows, NoInlineDispatch: noInline},
 						info, plan, opts)
 				}
-				a, err := measure(false)
+				a, err := measure(false, false)
 				if err != nil {
 					t.Fatalf("%s: first run: %v", name, err)
 				}
-				b, err := measure(false)
+				b, err := measure(false, false)
 				if err != nil {
 					t.Fatalf("%s: second run: %v", name, err)
 				}
 				if !reflect.DeepEqual(a, b) {
 					t.Errorf("%s: runs diverged:\n  first:  %+v\n  second: %+v", name, a, b)
 				}
-				c, err := measure(true)
+				c, err := measure(true, false)
 				if err != nil {
 					t.Fatalf("%s: windows-off run: %v", name, err)
 				}
 				if c.Stats.WindowOps != 0 {
 					t.Fatalf("%s: NoSpinWindows run still batched %d window ops", name, c.Stats.WindowOps)
+				}
+				d, err := measure(false, true)
+				if err != nil {
+					t.Fatalf("%s: no-inline run: %v", name, err)
+				}
+				if d.Stats.InlineDispatches != 0 {
+					t.Fatalf("%s: NoInlineDispatch run still dispatched %d ops inline", name, d.Stats.InlineDispatches)
+				}
+				ai := a
+				ai.Stats.InlineDispatches = 0
+				if !reflect.DeepEqual(ai, d) {
+					t.Errorf("%s: inline dispatch changed a crashed run:\n  inline:  %+v\n  handoff: %+v", name, ai, d)
 				}
 				a.Stats.WindowOps = 0
 				if !reflect.DeepEqual(a, c) {

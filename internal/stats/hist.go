@@ -112,6 +112,27 @@ func (h *Hist) Merge(o *Hist) {
 // Reset clears the histogram for reuse.
 func (h *Hist) Reset() { *h = Hist{} }
 
+// CountAbove reports how many recorded samples are known to exceed v:
+// the count of all buckets strictly above v's bucket. Samples sharing
+// v's bucket are excluded, so the result is a one-sided lower bound
+// with the same 1/histSub relative resolution as Quantile — a sample
+// must exceed v's bucket upper edge (at most v*(1+1/histSub)) to be
+// counted. The intended use is the contention proxy "operations slower
+// than k× the median", where v comes from Quantile and the two
+// roundings compose consistently: Quantile reports an upper edge, so
+// CountAbove(k*Quantile(p)) never counts a sample the threshold merely
+// brushed.
+func (h *Hist) CountAbove(v int64) uint64 {
+	if v < 0 {
+		v = 0
+	}
+	var n uint64
+	for i := histIndex(v) + 1; i < histBuckets; i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
 // Quantile returns the p-quantile (0 <= p <= 1) as the upper edge of
 // the bucket holding the nearest-rank sample, so it never
 // underestimates and overestimates by at most a factor of 1+1/histSub

@@ -197,6 +197,55 @@ func TestHistEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistCountAbove pins the one-sided bound: samples strictly above
+// the threshold's bucket are counted, samples at or below the
+// threshold never are, and in the exact region (values < histSub) the
+// count is precise.
+func TestHistCountAbove(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 10; v++ {
+		h.Record(v)
+	}
+	if got := h.CountAbove(4); got != 5 { // 5..9
+		t.Fatalf("exact-region CountAbove(4) = %d, want 5", got)
+	}
+	if got := h.CountAbove(9); got != 0 {
+		t.Fatalf("CountAbove(max) = %d, want 0", got)
+	}
+	if got := h.CountAbove(-3); got != 9 { // clamps to 0; 1..9 exceed it
+		t.Fatalf("CountAbove(-3) = %d, want 9", got)
+	}
+
+	// Log region: never count a sample the threshold's bucket contains,
+	// always count samples in strictly higher buckets.
+	var g Hist
+	var s uint64 = 11
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = logUniform(&s)
+		g.Record(vals[i])
+	}
+	for _, thr := range []int64{100, 10_000, 1 << 30} {
+		got := g.CountAbove(thr)
+		var exact, safe uint64 // exact count above thr; count above thr's bucket edge
+		edge := histUpper(histIndex(thr))
+		for _, v := range vals {
+			if v > thr {
+				exact++
+			}
+			if v > edge {
+				safe++
+			}
+		}
+		if got != safe {
+			t.Errorf("CountAbove(%d) = %d, want %d (above bucket edge %d)", thr, got, safe, edge)
+		}
+		if got > exact {
+			t.Errorf("CountAbove(%d) = %d overcounts: only %d samples exceed it", thr, got, exact)
+		}
+	}
+}
+
 func TestShardedHist(t *testing.T) {
 	sh := NewShardedHist(4)
 	const workers, per = 8, 5000

@@ -12,7 +12,41 @@ import (
 	"repro/internal/barriers"
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/stats"
 )
+
+// LatSummary condenses a per-operation latency distribution for the
+// table columns the real-runtime sweeps print. Each worker records into
+// its own stats.Hist (allocation-free in the hot loop) and the runner
+// merges them, so the quantiles carry the histogram's documented
+// ≤1/32 one-sided relative error and nothing depends on goroutine
+// interleaving beyond the latencies themselves.
+type LatSummary struct {
+	P50Ns int64
+	P99Ns int64
+	// SlowFrac is the contention proxy: the fraction of operations
+	// slower than twice the median. An uncontended run keeps nearly
+	// every op within its own service time, so the mass beyond 2×p50 is
+	// (to first order) the queueing tail.
+	SlowFrac float64
+}
+
+// summarizeLat folds merged per-worker histograms into a LatSummary.
+func summarizeLat(hists []stats.Hist) LatSummary {
+	var h stats.Hist
+	for i := range hists {
+		h.Merge(&hists[i])
+	}
+	if h.Count() == 0 {
+		return LatSummary{}
+	}
+	p50 := h.Quantile(0.5)
+	return LatSummary{
+		P50Ns:    p50,
+		P99Ns:    h.Quantile(0.99),
+		SlowFrac: float64(h.CountAbove(2*p50)) / float64(h.Count()),
+	}
+}
 
 // spin burns roughly n loop iterations of local work.
 func spin(n int) {
@@ -32,6 +66,7 @@ type CSResult struct {
 	Elapsed    time.Duration // wall time
 	NsPerOp    float64
 	OpsPerSec  float64
+	Lat        LatSummary // per acquire→release pair, think time excluded
 }
 
 // CSOpts configures RunCriticalSections.
@@ -48,19 +83,26 @@ type CSOpts struct {
 // callers should treat as a failed run.
 func RunCriticalSections(l locks.Lock, o CSOpts) (CSResult, bool) {
 	counter := 0
+	// One histogram per goroutine: Record is allocation-free and the
+	// pair of clock reads it costs per op is identical for every lock
+	// under test, so the columns stay comparable.
+	hists := make([]stats.Hist, o.Goroutines)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < o.Goroutines; g++ {
+		h := &hists[g]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < o.Iters; i++ {
+				t0 := time.Now()
 				l.Lock()
 				counter++
 				if o.CSWork > 0 {
 					spin(o.CSWork)
 				}
 				l.Unlock()
+				h.Record(time.Since(t0).Nanoseconds())
 				if o.ThinkWork > 0 {
 					spin(o.ThinkWork)
 				}
@@ -76,6 +118,7 @@ func RunCriticalSections(l locks.Lock, o CSOpts) (CSResult, bool) {
 		Elapsed:    elapsed,
 		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(total),
 		OpsPerSec:  float64(total) / elapsed.Seconds(),
+		Lat:        summarizeLat(hists),
 	}
 	return res, counter == int(total)
 }
@@ -87,6 +130,7 @@ type RWResult struct {
 	Writes       int64
 	Elapsed      time.Duration
 	OpsPerSec    float64
+	Lat          LatSummary // per section (read or write), entry to exit
 }
 
 // RWOpts configures RunReadMix.
@@ -105,10 +149,12 @@ func RunReadMix(rw locks.RWLock, o RWOpts) (RWResult, bool) {
 	x, y := 0, 0
 	var bad atomic.Int32
 	var reads, writes atomic.Int64
+	hists := make([]stats.Hist, o.Goroutines)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < o.Goroutines; g++ {
 		g := g
+		h := &hists[g]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -118,6 +164,7 @@ func RunReadMix(rw locks.RWLock, o RWOpts) (RWResult, bool) {
 				rng ^= rng << 13
 				rng ^= rng >> 7
 				rng ^= rng << 17
+				t0 := time.Now()
 				if float64(rng%1000) < o.ReadFraction*1000 {
 					tok := rw.RLock()
 					if x != y {
@@ -138,6 +185,7 @@ func RunReadMix(rw locks.RWLock, o RWOpts) (RWResult, bool) {
 					rw.Unlock()
 					writes.Add(1)
 				}
+				h.Record(time.Since(t0).Nanoseconds())
 			}
 		}()
 	}
@@ -150,6 +198,7 @@ func RunReadMix(rw locks.RWLock, o RWOpts) (RWResult, bool) {
 		Writes:       writes.Load(),
 		Elapsed:      elapsed,
 		OpsPerSec:    float64(total) / elapsed.Seconds(),
+		Lat:          summarizeLat(hists),
 	}
 	return res, bad.Load() == 0 && x == y && int64(x) == writes.Load()
 }
@@ -262,6 +311,7 @@ type PipelineResult struct {
 	Elapsed      time.Duration
 	ItemsPerSec  float64
 	SumValidated bool
+	Lat          LatSummary // per push/pop, semaphore wait included
 }
 
 // PipelineOpts configures RunPipeline.
@@ -292,10 +342,12 @@ func RunPipeline(o PipelineOpts) PipelineResult {
 
 	var produced, consumed atomic.Int64
 	var pushSum, popSum atomic.Int64
+	hists := make([]stats.Hist, o.Producers+o.Consumers)
 	var wg sync.WaitGroup
 	start := time.Now()
 
 	for p := 0; p < o.Producers; p++ {
+		h := &hists[p]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -304,17 +356,20 @@ func RunPipeline(o PipelineOpts) PipelineResult {
 				if n > int64(o.Items) {
 					return
 				}
+				t0 := time.Now()
 				spaces.Acquire()
 				mu.Lock()
 				buf[tail] = n
 				tail = (tail + 1) % o.Capacity
 				mu.Unlock()
 				items.Release()
+				h.Record(time.Since(t0).Nanoseconds())
 				pushSum.Add(n)
 			}
 		}()
 	}
 	for c := 0; c < o.Consumers; c++ {
+		h := &hists[o.Producers+c]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -323,12 +378,14 @@ func RunPipeline(o PipelineOpts) PipelineResult {
 				if n > int64(o.Items) {
 					return
 				}
+				t0 := time.Now()
 				items.Acquire()
 				mu.Lock()
 				v := buf[head]
 				head = (head + 1) % o.Capacity
 				mu.Unlock()
 				spaces.Release()
+				h.Record(time.Since(t0).Nanoseconds())
 				popSum.Add(v)
 			}
 		}()
@@ -342,5 +399,6 @@ func RunPipeline(o PipelineOpts) PipelineResult {
 		Elapsed:      elapsed,
 		ItemsPerSec:  float64(o.Items) / elapsed.Seconds(),
 		SumValidated: pushSum.Load() == popSum.Load(),
+		Lat:          summarizeLat(hists),
 	}
 }
